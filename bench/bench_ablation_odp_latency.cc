@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation: ODP vs pinned registration — latency and bandwidth, cold and
+ * warm (the Li et al. characterization the paper builds on, refs [19],
+ * [20], plus the RNR-tuning observation of Sec. IX-A).
+ *
+ * Cold = first network touch of each page (faults under ODP); warm =
+ * pages already mapped. Receiver-side prefetch (ibv_advise_mr) is the
+ * third column — Li et al. found it recovers most of the gap.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "pitfall/experiment.hh"
+
+using namespace ibsim;
+using ibsim::pitfall::TablePrinter;
+
+namespace {
+
+struct Sample
+{
+    double coldUs = 0;
+    double warmUs = 0;
+};
+
+/** Mean READ latency over @p count buffers of @p size bytes. */
+Sample
+measure(bool odp, bool prefetch, std::uint32_t size, std::size_t count,
+        std::uint64_t seed, double rnr_delay_ms)
+{
+    Cluster cluster(rnic::DeviceProfile::knl(), 2, seed);
+    Node& client = cluster.node(0);
+    Node& server = cluster.node(1);
+    auto& ccq = client.createCq();
+    auto& scq = server.createCq();
+    verbs::QpConfig config;
+    config.cack = 18;
+    config.minRnrNakDelay = Time::ms(rnr_delay_ms);
+    auto [cqp, sqp] = cluster.connectRc(client, ccq, server, scq, config);
+
+    const std::uint64_t stride =
+        ((size + mem::pageSize - 1) / mem::pageSize) * mem::pageSize;
+    const std::uint64_t area = stride * count;
+    const auto src = server.alloc(area);
+    const auto dst = client.alloc(area);
+    server.memory().touch(src, area);  // data exists host-side
+    auto& smr = server.registerMemory(
+        src, area,
+        odp ? verbs::AccessFlags::odp() : verbs::AccessFlags::pinned());
+    auto& cmr = client.registerMemory(dst, area,
+                                      verbs::AccessFlags::pinned());
+
+    if (prefetch) {
+        server.prefetch(smr, src, area);
+        cluster.advance(Time::ms(5));
+    }
+
+    Sample sample;
+    std::uint64_t done = 0;
+    for (int round = 0; round < 2; ++round) {
+        const Time start = cluster.now();
+        for (std::size_t i = 0; i < count; ++i) {
+            cqp.postRead(dst + i * stride, cmr.lkey(), src + i * stride,
+                         smr.rkey(), size, done + i);
+            cluster.runUntil(
+                [&] { return ccq.totalCompletions() >= done + i + 1; },
+                cluster.now() + Time::sec(10));
+        }
+        done += count;
+        const double us =
+            (cluster.now() - start).toUs() / static_cast<double>(count);
+        if (round == 0)
+            sample.coldUs = us;
+        else
+            sample.warmUs = us;
+    }
+    return sample;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t count =
+        (argc > 1 && std::string(argv[1]) == "--quick") ? 16 : 64;
+
+    std::printf("== Ablation: ODP vs pinned READ latency, cold and warm "
+                "(%zu buffers per point) ==\n\n", count);
+    TablePrinter table({"size_B", "mode", "cold_us", "warm_us",
+                        "cold/warm"});
+    table.printHeader();
+
+    for (std::uint32_t size : {64u, 1024u, 16384u}) {
+        const auto pinned =
+            measure(false, false, size, count, 1, 1.28);
+        const auto odp = measure(true, false, size, count, 1, 1.28);
+        const auto pre = measure(true, true, size, count, 1, 1.28);
+        const auto tuned = measure(true, false, size, count, 1, 0.01);
+
+        auto row = [&](const char* mode, const Sample& s) {
+            table.printRow({TablePrinter::fmt(std::uint64_t{size}), mode,
+                            TablePrinter::fmt(s.coldUs, 2),
+                            TablePrinter::fmt(s.warmUs, 2),
+                            TablePrinter::fmt(
+                                s.warmUs > 0 ? s.coldUs / s.warmUs : 0,
+                                1)});
+        };
+        row("pinned", pinned);
+        row("ODP", odp);
+        row("ODP+prefetch", pre);
+        row("ODP+minRNR", tuned);
+        std::printf("\n");
+    }
+
+    std::printf("Li et al.'s findings hold: cold ODP pays the fault plus "
+                "the RNR round trip\n(milliseconds vs microseconds); warm "
+                "ODP matches pinned; prefetch removes the\ncold gap; and "
+                "tuning the RNR NAK timer down (Sec. IX-A) shrinks the "
+                "cold path\nby the shortened wait.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Paper Fig. 12: execution time distribution of the minimal ArgoDSM
+ * benchmark (argo::init + argo::finalize, 10 MB) with ODP disabled and
+ * enabled, on the KNL and Reedbush-H system models; 100 trials each.
+ *
+ * With ODP the distribution splits into two groups: page-fault overhead
+ * only, and page faults plus one packet-damming transport timeout from the
+ * global-lock READ + SEND sequence.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "apps/mini_dsm.hh"
+#include "simcore/stats.hh"
+
+using namespace ibsim;
+using namespace ibsim::apps;
+
+namespace {
+
+void
+runSystem(const DsmSystemParams& system, std::size_t trials)
+{
+    std::printf("---- %s ----\n", system.name.c_str());
+    for (bool odp : {false, true}) {
+        DsmConfig config;
+        config.odp = odp;
+        MiniDsm dsm(system, config);
+
+        Accumulator exec;
+        std::size_t timed_out = 0;
+        for (std::size_t t = 0; t < trials; ++t) {
+            auto r = dsm.run(/*seed=*/t + 1);
+            if (!r.completed)
+                continue;
+            exec.add(r.executionTime.toSec());
+            if (r.timeouts > 0)
+                ++timed_out;
+        }
+
+        std::printf("\n%s ODP (avg: %.2f s, min %.2f, max %.2f; "
+                    "timeout in %zu/%zu trials)\n",
+                    odp ? "w/ " : "w/o", exec.mean(), exec.min(),
+                    exec.max(), timed_out, trials);
+        Histogram hist(0.0, exec.max() * 1.05 + 0.1, 20);
+        for (double v : exec.samples())
+            hist.add(v);
+        std::printf("%s", hist.str(50).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t trials =
+        (argc > 1 && std::string(argv[1]) == "--quick") ? 20 : 100;
+
+    std::printf("== Fig. 12: ArgoDSM init/finalize execution time "
+                "distribution (%zu trials) ==\n\n", trials);
+    runSystem(DsmSystemParams::knl(), trials);
+    runSystem(DsmSystemParams::reedbushH(), trials);
+    std::printf("Paper: KNL 2.28 s -> 3.12 s avg, Reedbush-H 0.50 s -> "
+                "0.92 s avg; the w/-ODP histograms are bimodal, the slow "
+                "group carrying the timeout.\n");
+    return 0;
+}

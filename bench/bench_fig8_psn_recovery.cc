@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Fig. 8: workflow of ODP with three READ operations.
+ *
+ * The second READ is dammed, but the third arrives after the pending
+ * window, so the responder NAKs it with a PSN sequence error and the
+ * requester retransmits the second and third immediately — recovery
+ * without the transport timeout.
+ */
+
+#include <cstdio>
+
+#include "capture/trace_format.hh"
+#include "pitfall/microbench.hh"
+
+using namespace ibsim;
+using namespace ibsim::pitfall;
+
+int
+main()
+{
+    MicroBenchConfig config;
+    config.numOps = 3;
+    config.interval = Time::ms(2.5);
+    config.odpMode = OdpMode::BothSide;
+
+    MicroBenchmark bench(config, rnic::DeviceProfile::knl(), /*seed=*/11);
+    auto result = bench.run();
+
+    std::printf("== Fig. 8: workflow with three READs "
+                "(PSN sequence error recovery) ==\n\n");
+    std::printf("%s",
+                capture::formatWorkflow(*bench.packetCapture(),
+                                        bench.client().lid())
+                    .c_str());
+    std::printf("\nexecution=%s timeouts=%llu seq_naks=%llu\n",
+                result.executionTime.str().c_str(),
+                static_cast<unsigned long long>(result.timeouts),
+                static_cast<unsigned long long>(result.seqNaksReceived));
+    std::printf("Paper: the NAK (PSN sequence error) triggers immediate "
+                "retransmission of the 2nd and 3rd READs; no timeout.\n");
+    return 0;
+}

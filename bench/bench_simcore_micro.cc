@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator substrate itself:
+ * event queue throughput, fabric hop cost, and full RC round trips. These
+ * bound how large a flood experiment the harness can simulate per second
+ * of wall clock.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hh"
+#include "rnic/qp_context.hh"
+#include "simcore/event_queue.hh"
+
+using namespace ibsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.scheduleAfter(Time::ns(i), [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueCancel(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::vector<EventHandle> handles;
+        handles.reserve(1000);
+        for (int i = 0; i < 1000; ++i)
+            handles.push_back(q.scheduleAfter(Time::ns(i), [] {}));
+        for (auto& h : handles)
+            q.cancel(h);
+        q.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void
+BM_PsnDiff(benchmark::State& state)
+{
+    std::uint32_t a = 0x123456;
+    std::uint32_t b = 0xfffff0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rnic::psnDiff(a, b));
+        a = (a + 1) & 0xffffff;
+    }
+}
+BENCHMARK(BM_PsnDiff);
+
+void
+BM_PinnedReadRoundTrip(benchmark::State& state)
+{
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 1);
+    Node& client = cluster.node(0);
+    Node& server = cluster.node(1);
+    auto& ccq = client.createCq();
+    auto& scq = server.createCq();
+    auto [cqp, sqp] = cluster.connectRc(client, ccq, server, scq);
+    const std::uint64_t src = server.alloc(4096);
+    const std::uint64_t dst = client.alloc(4096);
+    auto& smr =
+        server.registerMemory(src, 4096, verbs::AccessFlags::pinned());
+    auto& cmr =
+        client.registerMemory(dst, 4096, verbs::AccessFlags::pinned());
+
+    std::uint64_t wr = 0;
+    for (auto _ : state) {
+        cqp.postRead(dst, cmr.lkey(), src, smr.rkey(), 100, wr++);
+        cluster.runUntil([&] { return ccq.totalCompletions() >= wr; });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PinnedReadRoundTrip);
+
+void
+BM_OdpReadFirstFault(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Cluster cluster(rnic::DeviceProfile::connectX4(), 2,
+                        state.iterations() + 1);
+        Node& client = cluster.node(0);
+        Node& server = cluster.node(1);
+        auto& ccq = client.createCq();
+        auto& scq = server.createCq();
+        auto [cqp, sqp] = cluster.connectRc(client, ccq, server, scq);
+        const std::uint64_t src = server.alloc(4096);
+        const std::uint64_t dst = client.alloc(4096);
+        auto& smr =
+            server.registerMemory(src, 4096, verbs::AccessFlags::odp());
+        auto& cmr = client.registerMemory(dst, 4096,
+                                          verbs::AccessFlags::pinned());
+        state.ResumeTiming();
+
+        cqp.postRead(dst, cmr.lkey(), src, smr.rkey(), 100, 1);
+        cluster.runUntil([&] { return ccq.totalCompletions() >= 1; });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OdpReadFirstFault);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DSM startup scenario: the ArgoDSM-like initialization protocol from the
+ * paper's Sec. VII-A, with and without ODP, showing how an innocuous
+ * global-lock READ + SEND sequence turns into a half-second stall when
+ * packet damming strikes.
+ *
+ * Run: ./build/examples/dsm_startup
+ */
+
+#include <cstdio>
+
+#include "apps/mini_dsm.hh"
+#include "simcore/stats.hh"
+
+using namespace ibsim;
+using namespace ibsim::apps;
+
+int
+main()
+{
+    const auto system = DsmSystemParams::knl();
+    std::printf("== MiniDsm (ArgoDSM-like) init+finalize on %s ==\n\n",
+                system.name.c_str());
+
+    for (bool odp : {false, true}) {
+        DsmConfig config;
+        config.memoryBytes = 10ull << 20;  // argo::init(10 MB)
+        config.odp = odp;
+        MiniDsm dsm(system, config);
+
+        Accumulator exec;
+        std::size_t slow_group = 0;
+        const std::size_t trials = 12;
+        for (std::size_t t = 1; t <= trials; ++t) {
+            auto r = dsm.run(t);
+            if (!r.completed) {
+                std::printf("trial %zu did not complete!\n", t);
+                continue;
+            }
+            exec.add(r.executionTime.toSec());
+            const bool dammed = r.timeouts > 0;
+            if (dammed)
+                ++slow_group;
+            std::printf("  trial %2zu: %7.2f s  faults=%3llu  rnr=%2llu  "
+                        "%s\n",
+                        t, r.executionTime.toSec(),
+                        static_cast<unsigned long long>(r.faultsResolved),
+                        static_cast<unsigned long long>(r.rnrNaks),
+                        dammed ? "<- transport timeout (packet damming)"
+                               : "");
+        }
+        std::printf("%s ODP: avg %.2f s (min %.2f, max %.2f), "
+                    "%zu/%zu trials hit the timeout\n\n",
+                    odp ? "with" : "without", exec.mean(), exec.min(),
+                    exec.max(), slow_group, trials);
+    }
+
+    std::printf("The with-ODP distribution is bimodal (paper Fig. 12): "
+                "the slow group carries one\n~2.1 s transport timeout "
+                "(UCX default C_ack = 18) from the dammed lock-release "
+                "SEND.\n");
+    return 0;
+}

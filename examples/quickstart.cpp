@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: build a two-node cluster, move data with the three verb
+ * types, then watch a single ODP page fault happen on the wire.
+ *
+ * Run: ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "capture/trace_format.hh"
+#include "cluster/cluster.hh"
+
+using namespace ibsim;
+
+int
+main()
+{
+    // A cluster of two ConnectX-4 machines on one fabric. Every random
+    // element (fault latencies, jitter) derives from the seed.
+    Cluster cluster(rnic::DeviceProfile::connectX4(), /*node_count=*/2,
+                    /*seed=*/42);
+    Node& client = cluster.node(0);
+    Node& server = cluster.node(1);
+
+    // Attach the simulator's ibdump.
+    capture::PacketCapture capture(cluster.fabric());
+
+    // Completion queues and one Reliable Connection QP pair.
+    auto& client_cq = client.createCq();
+    auto& server_cq = server.createCq();
+    verbs::QpConfig config;
+    config.cack = 14;                       // Local ACK Timeout exponent
+    config.minRnrNakDelay = Time::ms(1.28);  // responder RNR advertisement
+    auto [cqp, sqp] = cluster.connectRc(client, client_cq, server,
+                                        server_cq, config);
+
+    // Conventional (pinned) memory registration on both sides.
+    const std::uint64_t src = server.alloc(4096);
+    const std::uint64_t dst = client.alloc(4096);
+    auto& smr = server.registerMemory(src, 4096,
+                                      verbs::AccessFlags::pinned());
+    auto& cmr = client.registerMemory(dst, 4096,
+                                      verbs::AccessFlags::pinned());
+
+    // 1. RDMA READ: pull 256 bytes from the server.
+    server.memory().write(src, std::vector<std::uint8_t>(256, 0x5A));
+    cqp.postRead(dst, cmr.lkey(), src, smr.rkey(), 256, /*wr_id=*/1);
+    cluster.runUntil([&] { return client_cq.totalCompletions() == 1; });
+    std::printf("READ completed in %s (data ok: %s)\n",
+                cluster.now().str().c_str(),
+                client.memory().read(dst, 256)[100] == 0x5A ? "yes"
+                                                            : "no");
+
+    // 2. RDMA WRITE: push data the other way.
+    client.memory().write(dst, std::vector<std::uint8_t>(128, 0x7B));
+    cqp.postWrite(dst, cmr.lkey(), src, smr.rkey(), 128, /*wr_id=*/2);
+    cluster.runUntil([&] { return client_cq.totalCompletions() == 2; });
+
+    // 3. SEND/RECV: two-sided messaging.
+    sqp.postRecv(src + 1024, smr.lkey(), 1024, /*wr_id=*/3);
+    cqp.postSend(dst, cmr.lkey(), 64, /*wr_id=*/4);
+    cluster.runUntil([&] { return server_cq.totalCompletions() == 1; });
+    std::printf("WRITE + SEND/RECV done at %s\n",
+                cluster.now().str().c_str());
+
+    // 4. Now the interesting part: an On-Demand Paging region. The first
+    //    READ against it faults in the RNIC; watch the RNR NAK dance.
+    capture.clear();
+    const std::uint64_t odp_src = server.alloc(4096);
+    auto& odp_mr = server.registerMemory(odp_src, 4096,
+                                         verbs::AccessFlags::odp());
+    cqp.postRead(dst, cmr.lkey(), odp_src, odp_mr.rkey(), 100,
+                 /*wr_id=*/5);
+    cluster.runUntil([&] { return client_cq.totalCompletions() == 4; });
+
+    std::printf("\nFirst READ against an ODP region "
+                "(server-side network page fault):\n\n%s\n",
+                capture::formatWorkflow(capture, client.lid()).c_str());
+    std::printf("Page faults resolved by the server driver: %llu\n",
+                static_cast<unsigned long long>(
+                    server.driver().stats().faultsResolved));
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * MiniShuffle — a SparkUCX-like RDMA shuffle model.
+ *
+ * SparkUCX (paper Sec. VII-B) accelerates Spark shuffling with RDMA: every
+ * reducer fetches the mappers' freshly-produced blocks with READ
+ * operations over hundreds to thousands of QPs. With ODP enabled the fetch
+ * buffers are registered on demand, so each shuffle wave triggers
+ * simultaneous page faults from many QPs — the packet-flood recipe.
+ *
+ * MiniShuffle runs W shuffle "waves". Per wave, fresh block buffers are
+ * allocated and registered (pinned or ODP), one READ per QP fetches a
+ * block, and a compute phase follows. The job's total compute time is a
+ * workload parameter calibrated from the paper's ODP-disabled column; the
+ * ODP-enabled delta is fully emergent from the simulated flood.
+ */
+
+#ifndef IBSIM_APPS_MINI_SHUFFLE_HH
+#define IBSIM_APPS_MINI_SHUFFLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rnic/device_profile.hh"
+#include "simcore/time.hh"
+#include "verbs/types.hh"
+
+namespace ibsim {
+namespace apps {
+
+/** One (system, example) row of the paper's Fig. 13 table. */
+struct ShuffleRow
+{
+    std::string system;
+    std::string example;
+    rnic::DeviceProfile profile;
+
+    /** QPs created by the example on this cluster (paper Fig. 13). */
+    std::size_t qps = 411;
+
+    /**
+     * Connections actively fetching in one wave. Spark schedules a
+     * bounded number of concurrent tasks, so only a rotating subset of
+     * the job's QPs fetches at once.
+     */
+    std::size_t waveQps = 128;
+
+    /** Shuffle fetch waves across the job (stages x fetch rounds). */
+    std::size_t waves = 8;
+
+    /**
+     * Total non-shuffle compute, calibrated from the paper's
+     * ODP-disabled column (scaled 1:10 to keep simulations brisk).
+     */
+    Time computeTotal = Time::sec(30);
+
+    /** Block size per fetch; small blocks pack many QPs per page. */
+    std::uint32_t blockSize = 128;
+
+    /** The twelve rows of paper Fig. 13 (4 systems x 3 examples). */
+    static std::vector<ShuffleRow> table13();
+};
+
+/** Measurements of one job run. */
+struct ShuffleResult
+{
+    bool completed = false;
+    Time executionTime;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t updateFailures = 0;
+    std::uint64_t totalPackets = 0;
+
+    /** Longest single shuffle-wave stall (the "stuck for seconds"). */
+    Time longestWave;
+};
+
+/**
+ * One SparkUCX-like job.
+ */
+class MiniShuffle
+{
+  public:
+    MiniShuffle(ShuffleRow row, bool odp)
+        : row_(std::move(row)), odp_(odp)
+    {}
+
+    /** Run one trial with the given seed. */
+    ShuffleResult run(std::uint64_t seed) const;
+
+  private:
+    ShuffleRow row_;
+    bool odp_;
+};
+
+} // namespace apps
+} // namespace ibsim
+
+#endif // IBSIM_APPS_MINI_SHUFFLE_HH

@@ -1,0 +1,72 @@
+#include "capture/analysis.hh"
+
+#include <cstdio>
+
+namespace ibsim {
+namespace capture {
+
+CaptureSummary
+summarize(const std::vector<const CaptureEntry*>& entries)
+{
+    CaptureSummary s;
+    const CaptureEntry* prev = nullptr;
+    for (const auto* e : entries) {
+        ++s.totalPackets;
+        if (e->dropped)
+            ++s.droppedPackets;
+        if (e->packet.retransmission)
+            ++s.retransmissions;
+        if (e->packet.op == net::Opcode::RnrNak)
+            ++s.rnrNaks;
+        if (e->packet.op == net::Opcode::Nak &&
+            e->packet.nak == net::NakCode::PsnSequenceError)
+            ++s.seqNaks;
+        ++s.perOpcode[e->packet.op];
+
+        if (prev) {
+            const Time gap = e->when - prev->when;
+            if (gap > s.largestGap) {
+                s.largestGap = gap;
+                s.largestGapStart = prev->when;
+            }
+        }
+        prev = e;
+    }
+    return s;
+}
+
+CaptureSummary
+summarize(const PacketCapture& capture)
+{
+    std::vector<const CaptureEntry*> all;
+    all.reserve(capture.size());
+    for (const auto& e : capture.entries())
+        all.push_back(&e);
+    return summarize(all);
+}
+
+std::string
+CaptureSummary::str() const
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "packets=%llu dropped=%llu rexmit=%llu rnr_nak=%llu "
+                  "seq_nak=%llu largest_gap=%s\n",
+                  static_cast<unsigned long long>(totalPackets),
+                  static_cast<unsigned long long>(droppedPackets),
+                  static_cast<unsigned long long>(retransmissions),
+                  static_cast<unsigned long long>(rnrNaks),
+                  static_cast<unsigned long long>(seqNaks),
+                  largestGap.str().c_str());
+    out += buf;
+    for (const auto& [op, count] : perOpcode) {
+        std::snprintf(buf, sizeof(buf), "  %-10s %llu\n", opcodeName(op),
+                      static_cast<unsigned long long>(count));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace capture
+} // namespace ibsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Capture analysis helpers.
+ *
+ * Aggregates a capture into the quantities the paper derives from ibdump
+ * output: packet counts per opcode, retransmission counts, NAK breakdowns,
+ * and the largest silent gap on a connection (the signature of a transport
+ * timeout).
+ */
+
+#ifndef IBSIM_CAPTURE_ANALYSIS_HH
+#define IBSIM_CAPTURE_ANALYSIS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "capture/capture.hh"
+
+namespace ibsim {
+namespace capture {
+
+/** Aggregate statistics of a capture (or a filtered slice of one). */
+struct CaptureSummary
+{
+    std::uint64_t totalPackets = 0;
+    std::uint64_t droppedPackets = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t rnrNaks = 0;
+    std::uint64_t seqNaks = 0;
+    std::map<net::Opcode, std::uint64_t> perOpcode;
+
+    /** Largest gap between consecutive packets. */
+    Time largestGap;
+    /** Start time of that gap. */
+    Time largestGapStart;
+
+    std::string str() const;
+};
+
+/** Summarize a full capture. */
+CaptureSummary summarize(const PacketCapture& capture);
+
+/** Summarize a filtered slice. */
+CaptureSummary summarize(const std::vector<const CaptureEntry*>& entries);
+
+} // namespace capture
+} // namespace ibsim
+
+#endif // IBSIM_CAPTURE_ANALYSIS_HH

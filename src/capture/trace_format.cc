@@ -1,0 +1,90 @@
+#include "capture/trace_format.hh"
+
+#include <cstdio>
+
+namespace ibsim {
+namespace capture {
+
+namespace {
+
+std::vector<const CaptureEntry*>
+all(const PacketCapture& capture)
+{
+    std::vector<const CaptureEntry*> out;
+    out.reserve(capture.size());
+    for (const auto& e : capture.entries())
+        out.push_back(&e);
+    return out;
+}
+
+} // namespace
+
+std::string
+formatFlat(const std::vector<const CaptureEntry*>& entries)
+{
+    std::string out;
+    char buf[64];
+    for (const auto* e : entries) {
+        std::snprintf(buf, sizeof(buf), "%14s  ", e->when.str().c_str());
+        out += buf;
+        out += e->packet.str();
+        if (e->dropped)
+            out += "  ** LOST **";
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+formatFlat(const PacketCapture& capture)
+{
+    return formatFlat(all(capture));
+}
+
+std::string
+formatWorkflow(const std::vector<const CaptureEntry*>& entries,
+               std::uint16_t client_lid)
+{
+    std::string out;
+    out += "      time      client                                        "
+           "server\n";
+    out += "  ------------  ------------------------------------------    "
+           "------------------------------------------\n";
+    char buf[256];
+    for (const auto* e : entries) {
+        const auto& p = e->packet;
+        std::string label = opcodeName(p.op);
+        char detail[96];
+        std::snprintf(detail, sizeof(detail), " psn=%u", p.psn);
+        label += detail;
+        if (p.op == net::Opcode::Nak)
+            label += std::string(" (") + nakName(p.nak) + ")";
+        if (p.op == net::Opcode::RnrNak)
+            label += " delay=" + p.rnrDelay.str();
+        if (p.retransmission)
+            label += " [rexmit]";
+        if (p.dammed)
+            label += " [dammed]";
+        if (e->dropped)
+            label += " ** LOST **";
+
+        if (p.srcLid == client_lid) {
+            std::snprintf(buf, sizeof(buf), "  %12s  %-42s -->\n",
+                          e->when.str().c_str(), label.c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "  %12s  %42s <-- %s\n",
+                          e->when.str().c_str(), "", label.c_str());
+        }
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+formatWorkflow(const PacketCapture& capture, std::uint16_t client_lid)
+{
+    return formatWorkflow(all(capture), client_lid);
+}
+
+} // namespace capture
+} // namespace ibsim

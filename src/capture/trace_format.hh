@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Human-readable rendering of packet captures.
+ *
+ * Renders captures the way the paper presents them: either a flat dump
+ * (timestamp + packet line) or a two-column client/server "workflow"
+ * diagram like Figs. 1, 5 and 8, where each packet is drawn on the side
+ * that sent it.
+ */
+
+#ifndef IBSIM_CAPTURE_TRACE_FORMAT_HH
+#define IBSIM_CAPTURE_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/capture.hh"
+
+namespace ibsim {
+namespace capture {
+
+/** Flat dump: one line per packet. */
+std::string formatFlat(const std::vector<const CaptureEntry*>& entries);
+std::string formatFlat(const PacketCapture& capture);
+
+/**
+ * Two-column workflow diagram. Packets sent by @p client_lid appear in the
+ * left column with "-->" arrows; packets from the other side on the right
+ * with "<--" arrows, matching the figures' client/server layout.
+ */
+std::string formatWorkflow(const std::vector<const CaptureEntry*>& entries,
+                           std::uint16_t client_lid);
+std::string formatWorkflow(const PacketCapture& capture,
+                           std::uint16_t client_lid);
+
+} // namespace capture
+} // namespace ibsim
+
+#endif // IBSIM_CAPTURE_TRACE_FORMAT_HH

@@ -1,0 +1,107 @@
+#include "cluster/cluster.hh"
+
+#include <cstdio>
+
+namespace ibsim {
+
+Cluster::Cluster(rnic::DeviceProfile profile, std::size_t node_count,
+                 std::uint64_t seed, net::LinkConfig link)
+    : rng_(seed), defaultProfile_(std::move(profile)),
+      fabric_(events_, rng_, link)
+{
+    for (std::size_t i = 0; i < node_count; ++i)
+        addNode();
+}
+
+Node&
+Cluster::addNode()
+{
+    return addNode(defaultProfile_);
+}
+
+Node&
+Cluster::addNode(const rnic::DeviceProfile& profile)
+{
+    nodes_.push_back(std::make_unique<Node>(events_, rng_, fabric_,
+                                            nextLid_++, profile));
+    return *nodes_.back();
+}
+
+std::string
+Cluster::report()
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "cluster @ %s: %zu nodes, %llu events executed\n",
+                  now().str().c_str(), nodes_.size(),
+                  static_cast<unsigned long long>(events_.executed()));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "fabric: sent=%llu delivered=%llu dropped=%llu\n",
+                  static_cast<unsigned long long>(fabric_.totalSent()),
+                  static_cast<unsigned long long>(
+                      fabric_.totalDelivered()),
+                  static_cast<unsigned long long>(
+                      fabric_.totalDropped()));
+    out += line;
+
+    for (auto& node : nodes_) {
+        const auto& d = node->driver().stats();
+        const auto& b = node->board().stats();
+        rnic::QpStats agg;
+        std::size_t qps = 0;
+        for (auto* qp : node->rnic().allQps()) {
+            ++qps;
+            agg.requestsSent += qp->stats.requestsSent;
+            agg.retransmissions += qp->stats.retransmissions;
+            agg.timeouts += qp->stats.timeouts;
+            agg.rnrNaksReceived += qp->stats.rnrNaksReceived;
+            agg.seqNaksReceived += qp->stats.seqNaksReceived;
+            agg.dammedDrops += qp->stats.dammedDrops;
+            agg.completions += qp->stats.completions;
+        }
+        std::snprintf(
+            line, sizeof(line),
+            "node lid=%u: qps=%zu reqs=%llu rexmits=%llu timeouts=%llu "
+            "rnr=%llu seq_naks=%llu dammed=%llu completions=%llu\n",
+            node->lid(), qps,
+            static_cast<unsigned long long>(agg.requestsSent),
+            static_cast<unsigned long long>(agg.retransmissions),
+            static_cast<unsigned long long>(agg.timeouts),
+            static_cast<unsigned long long>(agg.rnrNaksReceived),
+            static_cast<unsigned long long>(agg.seqNaksReceived),
+            static_cast<unsigned long long>(agg.dammedDrops),
+            static_cast<unsigned long long>(agg.completions));
+        out += line;
+        std::snprintf(
+            line, sizeof(line),
+            "  odp: faults=%llu coalesced=%llu resolved=%llu "
+            "invalidations=%llu prefetched=%llu | board: waiters=%llu "
+            "prompt=%llu failures=%llu slow=%llu\n",
+            static_cast<unsigned long long>(d.faultsRaised),
+            static_cast<unsigned long long>(d.faultsCoalesced),
+            static_cast<unsigned long long>(d.faultsResolved),
+            static_cast<unsigned long long>(d.invalidations),
+            static_cast<unsigned long long>(d.prefetchedPages),
+            static_cast<unsigned long long>(b.waitersRegistered),
+            static_cast<unsigned long long>(b.promptUpdates),
+            static_cast<unsigned long long>(b.updateFailures),
+            static_cast<unsigned long long>(b.slowRefreshes));
+        out += line;
+    }
+    return out;
+}
+
+std::pair<verbs::QueuePair, verbs::QueuePair>
+Cluster::connectRc(Node& a, verbs::CompletionQueue& cq_a, Node& b,
+                   verbs::CompletionQueue& cq_b, verbs::QpConfig config)
+{
+    verbs::QueuePair qa = a.createQp(cq_a, config);
+    verbs::QueuePair qb = b.createQp(cq_b, config);
+    qa.connect(b.lid(), qb.qpn());
+    qb.connect(a.lid(), qa.qpn());
+    return {qa, qb};
+}
+
+} // namespace ibsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A simulated InfiniBand cluster — the library's top-level entry point.
+ *
+ * A Cluster bundles the event queue, RNG, fabric and a set of nodes that
+ * all share one device profile (heterogeneous clusters can add nodes with
+ * explicit profiles). Experiment harnesses drive virtual time through
+ * advance()/runUntil(), which play the roles of usleep() and the blocking
+ * CQ wait in the paper's micro-benchmark.
+ */
+
+#ifndef IBSIM_CLUSTER_CLUSTER_HH
+#define IBSIM_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/node.hh"
+#include "net/fabric.hh"
+#include "rnic/device_profile.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/rng.hh"
+
+namespace ibsim {
+
+/**
+ * A set of simulated machines on one fabric.
+ */
+class Cluster
+{
+  public:
+    /**
+     * Build a cluster of @p node_count nodes with identical RNICs.
+     *
+     * @param profile device profile shared by all nodes
+     * @param node_count number of nodes (LIDs 1..n)
+     * @param seed RNG seed; every stochastic element derives from it
+     * @param link fabric link parameters
+     */
+    explicit Cluster(rnic::DeviceProfile profile,
+                     std::size_t node_count = 2, std::uint64_t seed = 1,
+                     net::LinkConfig link = {});
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    /** Add another node (optionally with a different profile). */
+    Node& addNode();
+    Node& addNode(const rnic::DeviceProfile& profile);
+
+    Node& node(std::size_t index) { return *nodes_.at(index); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    EventQueue& events() { return events_; }
+    Rng& rng() { return rng_; }
+    net::Fabric& fabric() { return fabric_; }
+    Time now() const { return events_.now(); }
+
+    /** Advance virtual time by @p delta (the micro-benchmark's usleep). */
+    void advance(Time delta) { events_.advance(delta); }
+
+    /**
+     * Run until @p pred holds (polled after each event) or @p limit.
+     * @return true if the predicate was satisfied.
+     */
+    bool
+    runUntil(const std::function<bool()>& pred, Time limit = Time::max())
+    {
+        return events_.runUntil(pred, limit);
+    }
+
+    /** Run until the event queue drains (or @p limit). */
+    bool drain(Time limit = Time::max()) { return events_.run(limit); }
+
+    /**
+     * A full diagnostic dump: fabric counters, per-node driver/board
+     * statistics, and aggregate QP transport statistics. The first thing
+     * to read when a run behaves strangely.
+     */
+    std::string report();
+
+    /**
+     * Create and connect a pair of RC QPs between two nodes.
+     * Both ends use @p config and complete into the given CQs.
+     */
+    std::pair<verbs::QueuePair, verbs::QueuePair>
+    connectRc(Node& a, verbs::CompletionQueue& cq_a, Node& b,
+              verbs::CompletionQueue& cq_b, verbs::QpConfig config = {});
+
+  private:
+    EventQueue events_;
+    Rng rng_;
+    rnic::DeviceProfile defaultProfile_;
+    net::Fabric fabric_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::uint16_t nextLid_ = 1;
+};
+
+} // namespace ibsim
+
+#endif // IBSIM_CLUSTER_CLUSTER_HH

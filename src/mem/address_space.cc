@@ -1,0 +1,96 @@
+#include "mem/address_space.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ibsim {
+namespace mem {
+
+std::uint64_t
+AddressSpace::alloc(std::uint64_t size)
+{
+    assert(size > 0);
+    const std::uint64_t base = nextFree_;
+    const std::uint64_t pages = (size + pageSize - 1) / pageSize;
+    nextFree_ += pages * pageSize;
+    return base;
+}
+
+bool
+AddressSpace::present(std::uint64_t vaddr) const
+{
+    return pages_.find(pageOf(vaddr)) != pages_.end();
+}
+
+AddressSpace::Page&
+AddressSpace::ensurePage(std::uint64_t page_idx)
+{
+    auto [it, inserted] = pages_.try_emplace(page_idx);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+void
+AddressSpace::touch(std::uint64_t vaddr, std::uint64_t len)
+{
+    assert(len > 0);
+    const std::uint64_t first = pageOf(vaddr);
+    const std::uint64_t last = pageOf(vaddr + len - 1);
+    for (std::uint64_t p = first; p <= last; ++p)
+        ensurePage(p);
+}
+
+bool
+AddressSpace::populatePage(std::uint64_t vaddr)
+{
+    const std::uint64_t idx = pageOf(vaddr);
+    const bool fresh = pages_.find(idx) == pages_.end();
+    ensurePage(idx);
+    return fresh;
+}
+
+void
+AddressSpace::releasePage(std::uint64_t vaddr)
+{
+    pages_.erase(pageOf(vaddr));
+}
+
+void
+AddressSpace::write(std::uint64_t vaddr,
+                    const std::vector<std::uint8_t>& data)
+{
+    std::uint64_t off = 0;
+    while (off < data.size()) {
+        const std::uint64_t va = vaddr + off;
+        Page& page = ensurePage(pageOf(va));
+        const std::uint64_t in_page = va % pageSize;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(pageSize - in_page, data.size() - off);
+        std::memcpy(page.data() + in_page, data.data() + off, chunk);
+        off += chunk;
+    }
+}
+
+std::vector<std::uint8_t>
+AddressSpace::read(std::uint64_t vaddr, std::uint64_t len) const
+{
+    std::vector<std::uint8_t> out(len, 0);
+    std::uint64_t off = 0;
+    while (off < len) {
+        const std::uint64_t va = vaddr + off;
+        const std::uint64_t in_page = va % pageSize;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(pageSize - in_page, len - off);
+        auto it = pages_.find(pageOf(va));
+        if (it != pages_.end())
+            std::memcpy(out.data() + off, it->second.data() + in_page,
+                        chunk);
+        off += chunk;
+    }
+    return out;
+}
+
+} // namespace mem
+} // namespace ibsim

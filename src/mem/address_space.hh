@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Host virtual address space model.
+ *
+ * Each simulated node owns one AddressSpace: a sparse, page-granular store
+ * of bytes with a per-page present bit. Pages become present when the host
+ * touches them or when the ODP driver resolves a network page fault against
+ * them; the kernel can also release pages again, which drives the RNIC
+ * invalidation flow (paper Sec. III-A).
+ */
+
+#ifndef IBSIM_MEM_ADDRESS_SPACE_HH
+#define IBSIM_MEM_ADDRESS_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ibsim {
+namespace mem {
+
+/** Page size used throughout, matching the paper's 4096-byte alignment. */
+constexpr std::uint64_t pageSize = 4096;
+
+/** Page index containing a virtual address. */
+constexpr std::uint64_t
+pageOf(std::uint64_t vaddr)
+{
+    return vaddr / pageSize;
+}
+
+/**
+ * A sparse byte-addressable space with per-page presence.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+    AddressSpace(const AddressSpace&) = delete;
+    AddressSpace& operator=(const AddressSpace&) = delete;
+
+    /**
+     * Reserve a virtual range and return its base address.
+     *
+     * Allocation only reserves address space; no page becomes present
+     * (malloc'd-but-untouched memory, the state that triggers ODP faults).
+     * The base is always page aligned.
+     */
+    std::uint64_t alloc(std::uint64_t size);
+
+    /** Whether the page holding @p vaddr is present (backed by a frame). */
+    bool present(std::uint64_t vaddr) const;
+
+    /** Make all pages in [vaddr, vaddr + len) present (first touch). */
+    void touch(std::uint64_t vaddr, std::uint64_t len);
+
+    /**
+     * Make the page holding @p vaddr present.
+     *
+     * @return true if the page was newly populated.
+     */
+    bool populatePage(std::uint64_t vaddr);
+
+    /**
+     * Release the page holding @p vaddr (kernel reclaim / madvise).
+     * Contents are discarded; the page reverts to not-present.
+     */
+    void releasePage(std::uint64_t vaddr);
+
+    /** Write bytes; pages touched become present. */
+    void write(std::uint64_t vaddr, const std::vector<std::uint8_t>& data);
+
+    /**
+     * Read bytes. Non-present pages read as zero without becoming
+     * present (a simulator-level peek, not a host access).
+     */
+    std::vector<std::uint8_t> read(std::uint64_t vaddr,
+                                   std::uint64_t len) const;
+
+    /** Number of currently present pages. */
+    std::size_t presentPages() const { return pages_.size(); }
+
+    /** Total bytes of reserved address space. */
+    std::uint64_t reservedBytes() const { return nextFree_ - base_; }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    Page& ensurePage(std::uint64_t page_idx);
+
+    static constexpr std::uint64_t base_ = 0x10000000;
+    std::uint64_t nextFree_ = base_;
+    std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+} // namespace mem
+} // namespace ibsim
+
+#endif // IBSIM_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,90 @@
+#include "net/fabric.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "simcore/log.hh"
+
+namespace ibsim {
+namespace net {
+
+Fabric::Fabric(EventQueue& events, Rng& rng, LinkConfig config)
+    : events_(events), rng_(rng), config_(config),
+      loss_(std::make_unique<NoLoss>())
+{
+}
+
+void
+Fabric::attach(std::uint16_t lid, PortHandler& handler)
+{
+    assert(ports_.find(lid) == ports_.end() && "duplicate LID");
+    ports_[lid] = &handler;
+}
+
+void
+Fabric::detach(std::uint16_t lid)
+{
+    ports_.erase(lid);
+}
+
+void
+Fabric::setLossModel(std::unique_ptr<LossModel> model)
+{
+    assert(model);
+    loss_ = std::move(model);
+}
+
+void
+Fabric::addTap(CaptureTap tap)
+{
+    taps_.push_back(std::move(tap));
+}
+
+std::uint64_t
+Fabric::send(Packet pkt)
+{
+    pkt.wireId = nextWireId_++;
+    pkt.sentAt = events_.now();
+    ++totalSent_;
+
+    auto it = ports_.find(pkt.dstLid);
+    const bool unknownLid = (it == ports_.end());
+    const bool lossDrop = loss_->shouldDrop(pkt, rng_);
+    const bool dropped = unknownLid || lossDrop;
+
+    for (const auto& tap : taps_)
+        tap(pkt, dropped);
+
+    log::trace(events_.now(), "fabric",
+               pkt.str() + (dropped ? "  ** DROPPED **" : ""));
+
+    if (dropped) {
+        ++totalDropped_;
+        return pkt.wireId;
+    }
+
+    // Per-port serialization: back-to-back packets from one port (or into
+    // one port) queue behind each other; disjoint port pairs do not
+    // contend. This matters for the flood experiments, where the wire is
+    // actually busy.
+    const Time serialization = Time::sec(
+        static_cast<double>(pkt.wireSize()) / config_.bandwidthBytesPerSec);
+    Time& egress = egressFreeAt_[pkt.srcLid];
+    const Time start = std::max(events_.now(), egress);
+    egress = start + serialization;
+    Time& ingress = ingressFreeAt_[pkt.dstLid];
+    const Time arrive = std::max(egress + config_.latency, ingress);
+    ingress = arrive + serialization;
+    const Time deliverAt = arrive + config_.perPacketOverhead;
+
+    PortHandler* handler = it->second;
+    const std::uint64_t id = pkt.wireId;
+    events_.schedule(deliverAt, [this, handler, p = std::move(pkt)]() {
+        ++totalDelivered_;
+        handler->receive(p);
+    });
+    return id;
+}
+
+} // namespace net
+} // namespace ibsim

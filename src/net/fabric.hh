@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The switched fabric connecting RNIC ports.
+ *
+ * Ports register under a Local IDentifier (LID). send() schedules delivery
+ * after the link latency plus serialization delay; packets addressed to an
+ * unknown LID vanish silently, exactly the failure mode the paper exploits
+ * to measure transport timeouts (Sec. IV-B). Capture taps observe every
+ * packet at egress (like ibdump on the sending HCA port) including packets
+ * that are subsequently dropped.
+ */
+
+#ifndef IBSIM_NET_FABRIC_HH
+#define IBSIM_NET_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/loss.hh"
+#include "net/packet.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/rng.hh"
+
+namespace ibsim {
+namespace net {
+
+/**
+ * Receiver interface implemented by RNICs.
+ */
+class PortHandler
+{
+  public:
+    virtual ~PortHandler() = default;
+
+    /** A packet has arrived at this port. */
+    virtual void receive(const Packet& pkt) = 0;
+};
+
+/** Static link parameters of the fabric. */
+struct LinkConfig
+{
+    /** One-way propagation + switching latency. */
+    Time latency = Time::us(0.9);
+
+    /** Link bandwidth in bytes per second (56 Gb/s FDR by default). */
+    double bandwidthBytesPerSec = 56e9 / 8.0;
+
+    /** Per-packet host/NIC processing overhead added to delivery time. */
+    Time perPacketOverhead = Time::ns(50);
+};
+
+/**
+ * Observer invoked for every packet handed to the fabric (before loss).
+ */
+using CaptureTap = std::function<void(const Packet&, bool dropped)>;
+
+/**
+ * The fabric: LID-addressed delivery with latency, serialization and loss.
+ */
+class Fabric
+{
+  public:
+    Fabric(EventQueue& events, Rng& rng, LinkConfig config = {});
+
+    /** Register @p handler under @p lid. LIDs must be unique. */
+    void attach(std::uint16_t lid, PortHandler& handler);
+
+    /** Remove a port (packets to it then vanish). */
+    void detach(std::uint16_t lid);
+
+    /**
+     * Send a packet. Ownership of the contents transfers; the fabric stamps
+     * wireId/sentAt. Returns the wire id (0 if the packet was dropped by a
+     * loss model or addressed to an unknown LID — it still got a wire id
+     * for capture purposes; 0 is never used).
+     */
+    std::uint64_t send(Packet pkt);
+
+    /** Install a loss model (replaces the previous one). */
+    void setLossModel(std::unique_ptr<LossModel> model);
+
+    /** Add a capture tap observing all traffic. */
+    void addTap(CaptureTap tap);
+
+    /** Total packets handed to send(). */
+    std::uint64_t totalSent() const { return totalSent_; }
+
+    /** Total packets actually delivered. */
+    std::uint64_t totalDelivered() const { return totalDelivered_; }
+
+    /** Total packets dropped (loss model or unknown LID). */
+    std::uint64_t totalDropped() const { return totalDropped_; }
+
+    const LinkConfig& config() const { return config_; }
+
+    EventQueue& events() { return events_; }
+
+  private:
+    EventQueue& events_;
+    Rng& rng_;
+    LinkConfig config_;
+    std::map<std::uint16_t, PortHandler*> ports_;
+    std::unique_ptr<LossModel> loss_;
+    std::vector<CaptureTap> taps_;
+    std::uint64_t nextWireId_ = 1;
+    std::uint64_t totalSent_ = 0;
+    std::uint64_t totalDelivered_ = 0;
+    std::uint64_t totalDropped_ = 0;
+    /**
+     * Per-port serialization state: packets from one source port queue
+     * behind each other on its egress link, and packets into one
+     * destination port queue on its ingress link. Distinct port pairs do
+     * not contend (a non-blocking switch).
+     */
+    std::map<std::uint16_t, Time> egressFreeAt_;
+    std::map<std::uint16_t, Time> ingressFreeAt_;
+};
+
+} // namespace net
+} // namespace ibsim
+
+#endif // IBSIM_NET_FABRIC_HH

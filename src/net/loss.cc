@@ -1,0 +1,7 @@
+#include "net/loss.hh"
+
+// Loss models are header-only; this file anchors them in the build.
+namespace ibsim {
+namespace net {
+} // namespace net
+} // namespace ibsim

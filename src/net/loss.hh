@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Packet loss injection.
+ *
+ * The fabric consults a LossModel before delivering each packet. The paper
+ * induces loss two ways — by pointing a QP at a wrong destination LID
+ * (Sec. IV-B) and through the damming quirk — and unknown-LID drop is built
+ * into the fabric itself. These models cover additional fault-injection
+ * needs of the tests and ablation benches.
+ */
+
+#ifndef IBSIM_NET_LOSS_HH
+#define IBSIM_NET_LOSS_HH
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.hh"
+#include "simcore/rng.hh"
+
+namespace ibsim {
+namespace net {
+
+/**
+ * Decides, per packet, whether the fabric drops it.
+ */
+class LossModel
+{
+  public:
+    virtual ~LossModel() = default;
+
+    /** @return true if the packet should be dropped. */
+    virtual bool shouldDrop(const Packet& pkt, Rng& rng) = 0;
+};
+
+/** Never drops. */
+class NoLoss : public LossModel
+{
+  public:
+    bool shouldDrop(const Packet&, Rng&) override { return false; }
+};
+
+/** Drops each packet independently with fixed probability. */
+class BernoulliLoss : public LossModel
+{
+  public:
+    explicit BernoulliLoss(double probability)
+        : probability_(probability)
+    {}
+
+    bool
+    shouldDrop(const Packet&, Rng& rng) override
+    {
+        return rng.chance(probability_);
+    }
+
+  private:
+    double probability_;
+};
+
+/**
+ * Drops the first @p count packets matching a predicate, then lets
+ * everything through. Used to lose one specific packet deterministically.
+ */
+class MatchOnceLoss : public LossModel
+{
+  public:
+    using Predicate = std::function<bool(const Packet&)>;
+
+    MatchOnceLoss(Predicate pred, std::size_t count = 1)
+        : pred_(std::move(pred)), remaining_(count)
+    {}
+
+    bool
+    shouldDrop(const Packet& pkt, Rng&) override
+    {
+        if (remaining_ > 0 && pred_(pkt)) {
+            --remaining_;
+            return true;
+        }
+        return false;
+    }
+
+    std::size_t remaining() const { return remaining_; }
+
+  private:
+    Predicate pred_;
+    std::size_t remaining_;
+};
+
+} // namespace net
+} // namespace ibsim
+
+#endif // IBSIM_NET_LOSS_HH

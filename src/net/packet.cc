@@ -1,0 +1,102 @@
+#include "net/packet.hh"
+
+#include <cstdio>
+
+namespace ibsim {
+namespace net {
+
+namespace {
+
+/** LRH + BTH + ICRC/VCRC overhead, plus RETH/AETH where applicable. */
+constexpr std::uint32_t baseHeaderBytes = 26;
+constexpr std::uint32_t rethBytes = 16;
+constexpr std::uint32_t aethBytes = 4;
+
+} // namespace
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ReadRequest: return "READ_REQ";
+      case Opcode::ReadResponse: return "READ_RESP";
+      case Opcode::WriteRequest: return "WRITE";
+      case Opcode::Send: return "SEND";
+      case Opcode::Ack: return "ACK";
+      case Opcode::Nak: return "NAK";
+      case Opcode::RnrNak: return "RNR_NAK";
+      case Opcode::AtomicRequest: return "ATOMIC_REQ";
+      case Opcode::AtomicResponse: return "ATOMIC_RESP";
+    }
+    return "?";
+}
+
+const char*
+nakName(NakCode code)
+{
+    switch (code) {
+      case NakCode::None: return "none";
+      case NakCode::PsnSequenceError: return "PSN_SEQ_ERR";
+      case NakCode::RemoteAccessError: return "REM_ACCESS_ERR";
+    }
+    return "?";
+}
+
+std::uint32_t
+Packet::wireSize() const
+{
+    std::uint32_t size = baseHeaderBytes;
+    switch (op) {
+      case Opcode::ReadRequest:
+      case Opcode::WriteRequest:
+        size += rethBytes;
+        break;
+      case Opcode::AtomicRequest:
+        size += 28;  // ATOMICETH
+        break;
+      case Opcode::AtomicResponse:
+        size += aethBytes + 8;  // AETH + ATOMICACKETH
+        break;
+      case Opcode::ReadResponse:
+      case Opcode::Ack:
+      case Opcode::Nak:
+      case Opcode::RnrNak:
+        size += aethBytes;
+        break;
+      case Opcode::Send:
+        break;
+    }
+    switch (op) {
+      case Opcode::ReadResponse:
+      case Opcode::WriteRequest:
+      case Opcode::Send:
+        size += length;
+        break;
+      default:
+        break;
+    }
+    return size;
+}
+
+std::string
+Packet::str() const
+{
+    char buf[160];
+    std::string extra;
+    if (op == Opcode::Nak)
+        extra = std::string(" ") + nakName(nak);
+    if (op == Opcode::RnrNak)
+        extra = " delay=" + rnrDelay.str();
+    if (retransmission)
+        extra += " [rexmit]";
+    if (dammed)
+        extra += " [dammed]";
+    std::snprintf(buf, sizeof(buf),
+                  "%-9s lid %u->%u qp %u->%u psn=%u len=%u%s",
+                  opcodeName(op), srcLid, dstLid, srcQpn, dstQpn, psn,
+                  length, extra.c_str());
+    return buf;
+}
+
+} // namespace net
+} // namespace ibsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The packet type exchanged between simulated RNICs.
+ *
+ * One Packet models one InfiniBand transport packet at the granularity the
+ * paper's analysis works at: opcode, PSN, addressing, NAK syndromes and
+ * payload. Messages are mapped to one packet per operation (see DESIGN.md,
+ * "modeling decisions"): the paper's experiments use 32/100-byte messages,
+ * well below a single MTU, so the per-packet PSN bookkeeping of multi-MTU
+ * messages is not needed to reproduce any figure.
+ */
+
+#ifndef IBSIM_NET_PACKET_HH
+#define IBSIM_NET_PACKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hh"
+
+namespace ibsim {
+namespace net {
+
+/** Transport opcodes, matching the subset of IBA the paper exercises. */
+enum class Opcode : std::uint8_t
+{
+    ReadRequest,
+    ReadResponse,
+    WriteRequest,
+    Send,
+    Ack,
+    Nak,     ///< NAK with a syndrome in Packet::nak
+    RnrNak,  ///< Receiver-Not-Ready NAK carrying the RNR timer value
+    AtomicRequest,   ///< FETCH_ADD / CMP_SWAP request (ATOMICETH)
+    AtomicResponse,  ///< 8-byte original value (ATOMICACKETH)
+};
+
+/** NAK syndromes (IBA AETH codes we model). */
+enum class NakCode : std::uint8_t
+{
+    None,
+    PsnSequenceError,   ///< out-of-sequence request PSN at the responder
+    RemoteAccessError,  ///< rkey/bounds violation
+};
+
+const char* opcodeName(Opcode op);
+const char* nakName(NakCode code);
+
+/**
+ * A transport packet in flight.
+ */
+struct Packet
+{
+    Opcode op = Opcode::Send;
+
+    /** @{ Fabric addressing. */
+    std::uint16_t srcLid = 0;
+    std::uint16_t dstLid = 0;
+    /** @} */
+
+    /** @{ Transport addressing: queue pair numbers. */
+    std::uint32_t srcQpn = 0;
+    std::uint32_t dstQpn = 0;
+    /** @} */
+
+    /** Packet sequence number (request stream or response stream). */
+    std::uint32_t psn = 0;
+
+    /** @{ RETH fields for RDMA requests. */
+    std::uint64_t raddr = 0;
+    std::uint32_t rkey = 0;
+    /** @} */
+
+    /** DMA length of the operation (request) or payload size (response). */
+    std::uint32_t length = 0;
+
+    /** @{ Segmentation (first/middle/last packets of one message). */
+    std::uint32_t segIndex = 0;
+    std::uint32_t segCount = 1;
+    /** @} */
+
+    /** Payload bytes for data-carrying packets (responses, SEND, WRITE). */
+    std::vector<std::uint8_t> payload;
+
+    /** Syndrome for Opcode::Nak. */
+    NakCode nak = NakCode::None;
+
+    /** RNR timer value carried by an RNR NAK. */
+    Time rnrDelay;
+
+    /** @{ ATOMICETH fields. */
+    bool atomicIsCompSwap = false;  ///< false = FETCH_ADD
+    std::uint64_t atomicOperand = 0;  ///< add value / swap value
+    std::uint64_t atomicCompare = 0;  ///< compare value (CMP_SWAP)
+    /** @} */
+
+    /**
+     * ConnectX-4 damming-quirk marker (see DESIGN.md #4): set by the
+     * requester on requests first transmitted inside another request's
+     * pending window; a quirky responder drops such requests. Cleared when
+     * the requester retransmits due to a transport timeout or a
+     * PSN-sequence-error NAK. This models a hardware-internal state bit,
+     * not a wire field.
+     */
+    bool dammed = false;
+
+    /** True for any retransmission (capture/analysis convenience). */
+    bool retransmission = false;
+
+    /** Monotonic id assigned by the fabric when first sent. */
+    std::uint64_t wireId = 0;
+
+    /** Time the packet was handed to the fabric. */
+    Time sentAt;
+
+    /** Wire size in bytes: payload/DMA length plus header overhead. */
+    std::uint32_t wireSize() const;
+
+    /** One-line rendering for traces. */
+    std::string str() const;
+};
+
+} // namespace net
+} // namespace ibsim
+
+#endif // IBSIM_NET_PACKET_HH

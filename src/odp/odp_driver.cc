@@ -1,0 +1,134 @@
+#include "odp/odp_driver.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "simcore/log.hh"
+
+namespace ibsim {
+namespace odp {
+
+OdpDriver::OdpDriver(EventQueue& events, Rng& rng,
+                     mem::AddressSpace& memory, FaultTiming timing)
+    : events_(events), rng_(rng), memory_(memory), timing_(timing)
+{
+}
+
+Time
+OdpDriver::raiseFault(TranslationTable& table, std::uint64_t vaddr,
+                      ResolveCallback on_resolved)
+{
+    assert(table.odp() && "faults only occur on ODP regions");
+    const std::uint64_t page_idx = mem::pageOf(vaddr);
+    const FaultKey key{&table, page_idx};
+
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+        // Fault already in flight for this page: coalesce.
+        ++stats_.faultsCoalesced;
+        if (on_resolved)
+            it->second.callbacks.push_back(std::move(on_resolved));
+        return it->second.resolveAt;
+    }
+
+    ++stats_.faultsRaised;
+    Time latency = rng_.uniformTime(timing_.faultLatencyMin,
+                                    timing_.faultLatencyMax);
+    if (congestionProbe_) {
+        // Flood congestion: the fault machinery is shared, so resolution
+        // stretches while many QPs are stuck (Fig. 11's compounding).
+        const double factor = std::max(1.0, congestionProbe_());
+        latency = latency * factor;
+    }
+    const Time resolve_at = events_.now() + latency;
+    PendingFault fault;
+    fault.resolveAt = resolve_at;
+    if (on_resolved)
+        fault.callbacks.push_back(std::move(on_resolved));
+    pending_.emplace(key, std::move(fault));
+
+    log::trace(events_.now(), "odp",
+               "page fault raised page=" + std::to_string(page_idx) +
+                   " resolves in " + latency.str());
+
+    events_.schedule(resolve_at,
+                     [this, &table, page_idx] { resolve(table, page_idx); });
+    return resolve_at;
+}
+
+bool
+OdpDriver::faultInFlight(const TranslationTable& table,
+                         std::uint64_t vaddr) const
+{
+    return pending_.count({&table, mem::pageOf(vaddr)}) > 0;
+}
+
+void
+OdpDriver::resolve(TranslationTable& table, std::uint64_t page_idx)
+{
+    const std::uint64_t vaddr = page_idx * mem::pageSize;
+    memory_.populatePage(vaddr);
+    table.mapPage(vaddr);
+    ++stats_.faultsResolved;
+
+    log::trace(events_.now(), "odp",
+               "page fault resolved page=" + std::to_string(page_idx));
+
+    auto it = pending_.find({&table, page_idx});
+    assert(it != pending_.end());
+    auto callbacks = std::move(it->second.callbacks);
+    pending_.erase(it);
+
+    if (resolutionObserver_)
+        resolutionObserver_(table, page_idx);
+    for (auto& cb : callbacks)
+        cb();
+}
+
+void
+OdpDriver::invalidate(TranslationTable& table, std::uint64_t vaddr)
+{
+    ++stats_.invalidations;
+    events_.scheduleAfter(timing_.invalidateLatency,
+                          [this, &table, vaddr] {
+                              memory_.releasePage(vaddr);
+                              table.invalidatePage(vaddr);
+                              log::trace(events_.now(), "odp",
+                                         "page invalidated page=" +
+                                             std::to_string(
+                                                 mem::pageOf(vaddr)));
+                          });
+}
+
+void
+OdpDriver::prefetch(TranslationTable& table, std::uint64_t vaddr,
+                    std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    const std::uint64_t first = mem::pageOf(vaddr);
+    const std::uint64_t last = mem::pageOf(vaddr + len - 1);
+    std::uint64_t fresh = 0;
+    for (std::uint64_t p = first; p <= last; ++p) {
+        if (!table.mappedPage(p * mem::pageSize))
+            ++fresh;
+    }
+    const Time cost = timing_.prefetchLatencyPerPage *
+                      static_cast<double>(fresh == 0 ? 1 : fresh);
+    events_.scheduleAfter(cost, [this, &table, first, last] {
+        for (std::uint64_t p = first; p <= last; ++p) {
+            const std::uint64_t va = p * mem::pageSize;
+            if (!table.mappedPage(va)) {
+                memory_.populatePage(va);
+                table.mapPage(va);
+                ++stats_.prefetchedPages;
+                if (resolutionObserver_)
+                    resolutionObserver_(table, p);
+            }
+        }
+    });
+}
+
+} // namespace odp
+} // namespace ibsim

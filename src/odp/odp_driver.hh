@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The ODP kernel driver model for one node.
+ *
+ * When the RNIC touches an unmapped page of an ODP region it raises a
+ * network page fault here. The driver resolves it after the configured
+ * latency (interrupt + kernel page allocation + table update, paper
+ * Sec. III-A), populates the host page, installs the RNIC translation, and
+ * fires the callbacks registered for that fault. Concurrent faults on the
+ * same page coalesce into one resolution. Invalidation runs the reverse
+ * flow, and prefetch (ibv_advise_mr-style) resolves pages without an
+ * RNIC-side fault.
+ */
+
+#ifndef IBSIM_ODP_ODP_DRIVER_HH
+#define IBSIM_ODP_ODP_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "odp/odp_config.hh"
+#include "odp/translation_table.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/rng.hh"
+
+namespace ibsim {
+namespace odp {
+
+/** Counters exposed for experiment analysis. */
+struct DriverStats
+{
+    std::uint64_t faultsRaised = 0;
+    std::uint64_t faultsCoalesced = 0;
+    std::uint64_t faultsResolved = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t prefetchedPages = 0;
+};
+
+/**
+ * Per-node ODP driver.
+ */
+class OdpDriver
+{
+  public:
+    using ResolveCallback = std::function<void()>;
+
+    OdpDriver(EventQueue& events, Rng& rng, mem::AddressSpace& memory,
+              FaultTiming timing);
+
+    /**
+     * Raise a network page fault for the page holding @p vaddr in @p table.
+     *
+     * @param on_resolved invoked once the translation is installed; may be
+     *        empty. Multiple faults on one in-flight page coalesce and all
+     *        callbacks fire at the single resolution.
+     * @return the virtual time at which the fault will resolve.
+     */
+    Time raiseFault(TranslationTable& table, std::uint64_t vaddr,
+                    ResolveCallback on_resolved = {});
+
+    /** Whether a fault on the page holding @p vaddr is in flight. */
+    bool faultInFlight(const TranslationTable& table,
+                       std::uint64_t vaddr) const;
+
+    /**
+     * Invalidate the page holding @p vaddr: the kernel reclaims the host
+     * page and the RNIC translation is flushed after invalidateLatency.
+     */
+    void invalidate(TranslationTable& table, std::uint64_t vaddr);
+
+    /** Pre-resolve all pages of [vaddr, vaddr+len) without faulting. */
+    void prefetch(TranslationTable& table, std::uint64_t vaddr,
+                  std::uint64_t len);
+
+    /** Register an observer of page resolutions (the status board). */
+    void
+    setResolutionObserver(
+        std::function<void(TranslationTable&, std::uint64_t page)> obs)
+    {
+        resolutionObserver_ = std::move(obs);
+    }
+
+    /**
+     * Install a congestion probe: a multiplier (>= 1) applied to fault
+     * resolution latency, typically fed by the status board's stale
+     * count.
+     */
+    void
+    setCongestionProbe(std::function<double()> probe)
+    {
+        congestionProbe_ = std::move(probe);
+    }
+
+    const DriverStats& stats() const { return stats_; }
+    const FaultTiming& timing() const { return timing_; }
+
+  private:
+    struct PendingFault
+    {
+        std::vector<ResolveCallback> callbacks;
+        Time resolveAt;
+    };
+
+    using FaultKey = std::pair<const TranslationTable*, std::uint64_t>;
+
+    void resolve(TranslationTable& table, std::uint64_t page_idx);
+
+    EventQueue& events_;
+    Rng& rng_;
+    mem::AddressSpace& memory_;
+    FaultTiming timing_;
+    std::map<FaultKey, PendingFault> pending_;
+    std::function<void(TranslationTable&, std::uint64_t)>
+        resolutionObserver_;
+    std::function<double()> congestionProbe_;
+    DriverStats stats_;
+};
+
+} // namespace odp
+} // namespace ibsim
+
+#endif // IBSIM_ODP_ODP_DRIVER_HH

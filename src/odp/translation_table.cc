@@ -1,0 +1,38 @@
+#include "odp/translation_table.hh"
+
+namespace ibsim {
+namespace odp {
+
+bool
+TranslationTable::mappedRange(std::uint64_t vaddr, std::uint64_t len) const
+{
+    return firstUnmapped(vaddr, len) == 0;
+}
+
+std::uint64_t
+TranslationTable::firstUnmapped(std::uint64_t vaddr, std::uint64_t len) const
+{
+    if (!odp_ || len == 0)
+        return 0;
+    const std::uint64_t first = mem::pageOf(vaddr);
+    const std::uint64_t last = mem::pageOf(vaddr + len - 1);
+    for (std::uint64_t p = first; p <= last; ++p) {
+        if (mapped_.count(p) == 0)
+            return p * mem::pageSize;
+    }
+    return 0;
+}
+
+void
+TranslationTable::mapRange(std::uint64_t vaddr, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    const std::uint64_t first = mem::pageOf(vaddr);
+    const std::uint64_t last = mem::pageOf(vaddr + len - 1);
+    for (std::uint64_t p = first; p <= last; ++p)
+        mapped_.insert(p);
+}
+
+} // namespace odp
+} // namespace ibsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * RNIC-side virtual-to-physical translation table for one memory region.
+ *
+ * Pinned memory regions are fully mapped at registration time and never
+ * change. ODP regions start empty; pages get mapped when the driver
+ * resolves a network page fault and unmapped again on invalidation
+ * (paper Secs. II-A, III-A).
+ */
+
+#ifndef IBSIM_ODP_TRANSLATION_TABLE_HH
+#define IBSIM_ODP_TRANSLATION_TABLE_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "mem/address_space.hh"
+
+namespace ibsim {
+namespace odp {
+
+/**
+ * Per-MR page mapping state inside the RNIC.
+ */
+class TranslationTable
+{
+  public:
+    /**
+     * @param odp true for an on-demand region (starts unmapped); false for
+     *        a pinned region (the owner maps everything up front).
+     */
+    explicit TranslationTable(bool odp) : odp_(odp) {}
+
+    bool odp() const { return odp_; }
+
+    /** Whether the page holding @p vaddr has a valid translation. */
+    bool
+    mappedPage(std::uint64_t vaddr) const
+    {
+        if (!odp_)
+            return true;
+        return mapped_.count(mem::pageOf(vaddr)) > 0;
+    }
+
+    /** Whether every page of [vaddr, vaddr + len) is mapped. */
+    bool mappedRange(std::uint64_t vaddr, std::uint64_t len) const;
+
+    /**
+     * First unmapped page address in [vaddr, vaddr + len), or 0 when the
+     * whole range is mapped. (Address 0 is never inside a region.)
+     */
+    std::uint64_t firstUnmapped(std::uint64_t vaddr,
+                                std::uint64_t len) const;
+
+    /** Install a translation for the page holding @p vaddr. */
+    void mapPage(std::uint64_t vaddr) { mapped_.insert(mem::pageOf(vaddr)); }
+
+    /** Install translations for a whole range. */
+    void mapRange(std::uint64_t vaddr, std::uint64_t len);
+
+    /**
+     * Flush the translation of the page holding @p vaddr.
+     * @return true if an entry was actually removed.
+     */
+    bool
+    invalidatePage(std::uint64_t vaddr)
+    {
+        return mapped_.erase(mem::pageOf(vaddr)) > 0;
+    }
+
+    /** Number of mapped pages (0 means nothing faulted in yet). */
+    std::size_t mappedPages() const { return mapped_.size(); }
+
+  private:
+    bool odp_;
+    std::unordered_set<std::uint64_t> mapped_;
+};
+
+} // namespace odp
+} // namespace ibsim
+
+#endif // IBSIM_ODP_TRANSLATION_TABLE_HH

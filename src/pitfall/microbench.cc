@@ -1,0 +1,133 @@
+#include "pitfall/microbench.hh"
+
+#include <cassert>
+
+namespace ibsim {
+namespace pitfall {
+
+const char*
+odpModeName(OdpMode mode)
+{
+    switch (mode) {
+      case OdpMode::None: return "No ODP";
+      case OdpMode::ServerSide: return "Server-side ODP";
+      case OdpMode::ClientSide: return "Client-side ODP";
+      case OdpMode::BothSide: return "Both-side ODP";
+    }
+    return "?";
+}
+
+MicroBenchmark::MicroBenchmark(MicroBenchConfig config,
+                               rnic::DeviceProfile profile,
+                               std::uint64_t seed)
+    : config_(config),
+      cluster_(std::make_unique<Cluster>(std::move(profile), 2, seed))
+{
+    if (config_.capture)
+        capture_ = std::make_unique<capture::PacketCapture>(
+            cluster_->fabric());
+}
+
+MicroBenchmark::~MicroBenchmark() = default;
+
+MicroBenchResult
+MicroBenchmark::run()
+{
+    assert(!ran_ && "a MicroBenchmark instance runs once");
+    ran_ = true;
+
+    Node& client = cluster_->node(0);
+    Node& server = cluster_->node(1);
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(config_.numOps) * config_.size;
+
+    // Buffers are 4096-aligned as in the paper (alloc() page-aligns).
+    const std::uint64_t local_buf = client.alloc(bytes);
+    const std::uint64_t remote_buf = server.alloc(bytes);
+
+    const bool client_odp = config_.odpMode == OdpMode::ClientSide ||
+                            config_.odpMode == OdpMode::BothSide;
+    const bool server_odp = config_.odpMode == OdpMode::ServerSide ||
+                            config_.odpMode == OdpMode::BothSide;
+
+    auto& cmr = client.registerMemory(local_buf, bytes,
+                                      client_odp
+                                          ? verbs::AccessFlags::odp()
+                                          : verbs::AccessFlags::pinned());
+    auto& smr = server.registerMemory(remote_buf, bytes,
+                                      server_odp
+                                          ? verbs::AccessFlags::odp()
+                                          : verbs::AccessFlags::pinned());
+    clientMr_ = &cmr;
+    serverMr_ = &smr;
+
+    // The server's data exists host-side either way; ODP only means the
+    // RNIC has no translations yet.
+    std::vector<std::uint8_t> fill(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i)
+        fill[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    server.memory().write(remote_buf, fill);
+
+    auto& client_cq = client.createCq();
+    auto& server_cq = server.createCq();
+    qps_.clear();
+    for (std::size_t q = 0; q < config_.numQps; ++q) {
+        auto [cqp, sqp] = cluster_->connectRc(client, client_cq, server,
+                                              server_cq, config_.qpConfig);
+        qps_.push_back(cqp);
+    }
+
+    // The Fig. 3 loop.
+    const Time start = cluster_->now();
+    for (std::size_t i = 0; i < config_.numOps; ++i) {
+        const std::uint64_t local =
+            local_buf + static_cast<std::uint64_t>(config_.size) * i;
+        const std::uint64_t remote =
+            remote_buf + static_cast<std::uint64_t>(config_.size) * i;
+        verbs::QueuePair& qp = qps_[i % config_.numQps];
+        qp.postRead(local, cmr.lkey(), remote, smr.rkey(), config_.size,
+                    /*wr_id=*/i);
+        cluster_->advance(
+            cluster_->rng().jitter(config_.postOverhead, 0.3));
+        if (config_.interval > Time())
+            cluster_->advance(
+                cluster_->rng().jitter(config_.interval, 0.01));
+    }
+
+    // wait(): poll the CQ until everything finished (or errored out).
+    const auto done = [&] {
+        return client_cq.totalCompletions() >= config_.numOps;
+    };
+    MicroBenchResult result;
+    result.completedAll =
+        cluster_->runUntil(done, start + config_.waitLimit);
+    result.executionTime = cluster_->now() - start;
+
+    result.completionTimes.assign(config_.numOps, Time::max());
+    for (const auto& wc : client_cq.poll()) {
+        if (wc.wrId < result.completionTimes.size() && wc.ok())
+            result.completionTimes[wc.wrId] = wc.completedAt - start;
+        if (!wc.ok())
+            result.qpError = true;
+    }
+
+    for (const auto& qp : qps_) {
+        const auto& s = qp.stats();
+        result.timeouts += s.timeouts;
+        result.retransmissions += s.retransmissions;
+        result.rnrNaksReceived += s.rnrNaksReceived;
+        result.seqNaksReceived += s.seqNaksReceived;
+        result.responsesDiscardedFault += s.responsesDiscardedFault;
+        result.responsesDiscardedStale += s.responsesDiscardedStale;
+    }
+
+    result.clientFaults = client.driver().stats().faultsResolved;
+    result.serverFaults = server.driver().stats().faultsResolved;
+    result.updateFailures = client.board().stats().updateFailures;
+    result.totalPackets = cluster_->fabric().totalSent();
+    return result;
+}
+
+} // namespace pitfall
+} // namespace ibsim

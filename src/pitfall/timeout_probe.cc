@@ -1,0 +1,45 @@
+#include "pitfall/timeout_probe.hh"
+
+#include "cluster/cluster.hh"
+#include "rnic/timeout.hh"
+
+namespace ibsim {
+namespace pitfall {
+
+TimeoutProbeResult
+TimeoutProbe::measure(std::uint8_t cack, std::uint64_t seed) const
+{
+    Cluster cluster(profile_, /*node_count=*/1, seed);
+    Node& node = cluster.node(0);
+
+    verbs::QpConfig config;
+    config.cack = cack;
+    config.cretry = cretry_;
+
+    auto& cq = node.createCq();
+    verbs::QueuePair qp = node.createQp(cq, config);
+    // The wrong-LID trick: nothing is attached at this LID, so every
+    // request vanishes in the fabric.
+    qp.connect(/*dst_lid=*/999, /*dst_qpn=*/1);
+
+    const std::uint64_t buf = node.alloc(4096);
+    auto& mr = node.registerMemory(buf, 4096, verbs::AccessFlags::pinned());
+
+    const Time start = cluster.now();
+    qp.postRead(buf, mr.lkey(), 0x40000000, /*rkey=*/1, 100, /*wr_id=*/1);
+
+    TimeoutProbeResult result;
+    result.effectiveCack =
+        rnic::effectiveCack(cack, profile_.minCack);
+    result.aborted = cluster.runUntil(
+        [&] { return cq.totalCompletions() > 0; },
+        // Generous bound: (cretry+1) detections of up to 4*T_tr each.
+        start + rnic::timeoutInterval(rnic::maxCack) * 8.0);
+    result.abortTime = cluster.now() - start;
+    result.detectedTimeout =
+        result.abortTime / static_cast<double>(cretry_ + 1);
+    return result;
+}
+
+} // namespace pitfall
+} // namespace ibsim

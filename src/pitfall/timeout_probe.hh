@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Transport timeout measurement — the method of paper Sec. IV-B / Fig. 2.
+ *
+ * Deliberately connect a QP to a wrong destination LID so every packet is
+ * lost, post one READ, and measure the time until the process aborts with
+ * IBV_WC_RETRY_EXC_ERR. With Retry Count C_retry the observed abort time is
+ * t = (C_retry + 1) * T_o, so T_o = t / (C_retry + 1).
+ */
+
+#ifndef IBSIM_PITFALL_TIMEOUT_PROBE_HH
+#define IBSIM_PITFALL_TIMEOUT_PROBE_HH
+
+#include <cstdint>
+
+#include "rnic/device_profile.hh"
+#include "simcore/time.hh"
+
+namespace ibsim {
+namespace pitfall {
+
+/** Result of one timeout probe. */
+struct TimeoutProbeResult
+{
+    /** Time from first request to the RETRY_EXC_ERR abort. */
+    Time abortTime;
+
+    /** Derived per-try detection time T_o = abortTime / (cretry + 1). */
+    Time detectedTimeout;
+
+    /** The exponent the device actually used (vendor-clamped). */
+    std::uint8_t effectiveCack = 0;
+
+    bool aborted = false;
+};
+
+/**
+ * Measure T_o on a device profile for one C_ack setting.
+ */
+class TimeoutProbe
+{
+  public:
+    explicit TimeoutProbe(rnic::DeviceProfile profile,
+                          std::uint8_t cretry = 7)
+        : profile_(std::move(profile)), cretry_(cretry)
+    {}
+
+    /** Run the probe with the requested Local ACK Timeout exponent. */
+    TimeoutProbeResult measure(std::uint8_t cack,
+                               std::uint64_t seed = 1) const;
+
+  private:
+    rnic::DeviceProfile profile_;
+    std::uint8_t cretry_;
+};
+
+} // namespace pitfall
+} // namespace ibsim
+
+#endif // IBSIM_PITFALL_TIMEOUT_PROBE_HH

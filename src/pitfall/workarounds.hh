@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Software workarounds for the pitfalls (paper Sec. IX-A).
+ *
+ * Three mitigations the paper proposes, as reusable components:
+ *
+ *  1. Minimal RNR NAK delay tuning — narrow the damming window by
+ *     programming the smallest delay (a QpConfig choice; helper here).
+ *  2. DummyCommTimer — periodically post a dummy communication so a stuck
+ *     PSN stream provokes a PSN-sequence-error NAK and recovers via
+ *     go-back-N instead of the transport timeout.
+ *  3. FloodRescue — re-issue a stalled READ on a fresh QP: the page fault
+ *     has long been resolved, and a new QP's status view is not subject to
+ *     the update failure, so the data arrives promptly.
+ */
+
+#ifndef IBSIM_PITFALL_WORKAROUNDS_HH
+#define IBSIM_PITFALL_WORKAROUNDS_HH
+
+#include <cstdint>
+
+#include "cluster/cluster.hh"
+#include "simcore/time.hh"
+#include "verbs/queue_pair.hh"
+
+namespace ibsim {
+namespace pitfall {
+
+/** QpConfig with the smallest RNR NAK delay (workaround 1). */
+verbs::QpConfig withMinimalRnrDelay(verbs::QpConfig config);
+
+/**
+ * Workaround 2: a software timer posting dummy READs on a QP.
+ *
+ * The dummy buffers must be pinned (or pre-faulted) so the dummies never
+ * fault themselves. Dummy completions carry wr_ids >= dummyWrIdBase so the
+ * application can filter them when polling.
+ */
+class DummyCommTimer
+{
+  public:
+    /** wr_id namespace reserved for dummy operations. */
+    static constexpr std::uint64_t dummyWrIdBase = 1ull << 62;
+
+    DummyCommTimer(Cluster& cluster, verbs::QueuePair qp,
+                   std::uint64_t laddr, std::uint32_t lkey,
+                   std::uint64_t raddr, std::uint32_t rkey, Time period);
+    ~DummyCommTimer();
+
+    DummyCommTimer(const DummyCommTimer&) = delete;
+    DummyCommTimer& operator=(const DummyCommTimer&) = delete;
+
+    void start();
+    void stop();
+    bool running() const { return running_; }
+
+    std::uint64_t dummiesPosted() const { return posted_; }
+
+  private:
+    void fire();
+
+    Cluster& cluster_;
+    verbs::QueuePair qp_;
+    std::uint64_t laddr_;
+    std::uint32_t lkey_;
+    std::uint64_t raddr_;
+    std::uint32_t rkey_;
+    Time period_;
+    bool running_ = false;
+    EventHandle timer_;
+    std::uint64_t posted_ = 0;
+};
+
+/**
+ * Workaround 3: re-issue stalled READs on fresh QPs.
+ *
+ * Maintains a pool of spare QPs to the same server. rescue() posts a copy
+ * of a stalled READ on the next spare QP; because the spare QP never
+ * waited on the page, its status view is fresh and the data lands at
+ * fault-free speed.
+ */
+class FloodRescue
+{
+  public:
+    FloodRescue(Cluster& cluster, Node& client, Node& server,
+                verbs::CompletionQueue& cq, verbs::QpConfig config,
+                std::size_t pool_size);
+
+    /**
+     * Re-issue a READ on a spare QP. Returns the QP used (round-robin).
+     */
+    verbs::QueuePair& rescue(std::uint64_t laddr, std::uint32_t lkey,
+                             std::uint64_t raddr, std::uint32_t rkey,
+                             std::uint32_t length, std::uint64_t wr_id);
+
+    std::uint64_t rescuesIssued() const { return rescues_; }
+
+  private:
+    std::vector<verbs::QueuePair> pool_;
+    std::size_t next_ = 0;
+    std::uint64_t rescues_ = 0;
+};
+
+} // namespace pitfall
+} // namespace ibsim
+
+#endif // IBSIM_PITFALL_WORKAROUNDS_HH

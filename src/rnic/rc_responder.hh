@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Reliable Connection responder engine.
+ *
+ * One RcResponder serves the receive side of one QP: expected-PSN tracking,
+ * duplicate handling, PSN-sequence-error NAKs, RNR NAKs for server-side ODP
+ * faults (and missing RECV WQEs), proactive response transmission when a
+ * fault resolves (whose replies the waiting requester discards — Fig. 1),
+ * and the responder half of the damming quirk.
+ */
+
+#ifndef IBSIM_RNIC_RC_RESPONDER_HH
+#define IBSIM_RNIC_RC_RESPONDER_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "net/packet.hh"
+#include "rnic/qp_context.hh"
+
+namespace ibsim {
+namespace rnic {
+
+class Rnic;
+
+/**
+ * Receive-side protocol engine of one RC QP.
+ */
+class RcResponder
+{
+  public:
+    RcResponder(Rnic& rnic, QpContext& qp);
+
+    /** Handle an inbound request (READ/WRITE/SEND/ATOMIC). */
+    void onRequest(const net::Packet& pkt);
+
+  private:
+    /** Unreliable Connection service: no acks, no NAKs, losses silent. */
+    void onUcRequest(const net::Packet& pkt);
+
+    /** Unreliable Datagram service: unconnected SENDs. */
+    void onUdRequest(const net::Packet& pkt);
+
+  public:
+
+  private:
+    /**
+     * Try to execute a request. Returns false when execution must wait
+     * (server-side fault raised, RNR NAK sent).
+     *
+     * @param duplicate true when re-serving an already-executed request.
+     */
+    bool execute(const net::Packet& pkt, bool duplicate);
+
+    /**
+     * Check remote-access pages; on unmapped pages send an RNR NAK, raise
+     * faults, and (for in-sequence requests) arrange the proactive
+     * response. Returns true when all pages are mapped.
+     */
+    bool pagesReady(const net::Packet& pkt, bool arrange_proactive);
+
+    void sendReadResponse(const net::Packet& req);
+    void sendAck(std::uint32_t psn);
+    void sendSeqNak();
+    void sendAccessNak(std::uint32_t psn);
+    void sendRnrNak(std::uint32_t psn);
+
+    /** Fault-resolution callback: execute the parked request. */
+    void proactiveResolve();
+
+    Rnic& rnic_;
+    QpContext& qp_;
+
+    /** In-sequence request parked on a server-side fault. */
+    std::optional<net::Packet> parked_;
+    /** Unresolved pages of the parked request. */
+    int parkedPagesLeft_ = 0;
+
+    /** One PSN-sequence NAK per occurrence (IBA behaviour). */
+    bool seqNakSent_ = false;
+
+    /**
+     * Atomic replay cache: atomics are not idempotent, so duplicates are
+     * answered from these records instead of re-executing (the IBA
+     * atomic response resources). Bounded FIFO of recent results.
+     */
+    std::map<std::uint32_t, std::uint64_t> atomicCache_;
+    std::deque<std::uint32_t> atomicCacheOrder_;
+    static constexpr std::size_t atomicCacheCapacity = 128;
+
+    void sendAtomicResponse(std::uint32_t psn, std::uint64_t old_value);
+
+    /** Segments of an in-progress multi-packet SEND already landed. */
+    std::uint32_t sendSegsLanded_ = 0;
+};
+
+} // namespace rnic
+} // namespace ibsim
+
+#endif // IBSIM_RNIC_RC_RESPONDER_HH

@@ -1,0 +1,174 @@
+#include "rnic/rnic.hh"
+
+#include <cassert>
+
+#include "rnic/rc_requester.hh"
+#include "rnic/rc_responder.hh"
+#include "simcore/log.hh"
+
+namespace ibsim {
+namespace rnic {
+
+Rnic::Rnic(EventQueue& events, Rng& rng, net::Fabric& fabric,
+           std::uint16_t lid, DeviceProfile profile,
+           mem::AddressSpace& memory, odp::OdpDriver& driver,
+           odp::PageStatusBoard& board)
+    : events_(events), rng_(rng), fabric_(fabric), lid_(lid),
+      profile_(std::move(profile)), memory_(memory), driver_(driver),
+      board_(board)
+{
+    fabric_.attach(lid_, *this);
+    driver_.setResolutionObserver(
+        [this](odp::TranslationTable& table, std::uint64_t page) {
+            board_.onPageMapped(table, page);
+        });
+}
+
+Rnic::~Rnic()
+{
+    fabric_.detach(lid_);
+}
+
+void
+Rnic::registerMr(verbs::MemoryRegion& mr)
+{
+    assert(mrs_.find(mr.rkey()) == mrs_.end());
+    mrs_[mr.rkey()] = &mr;
+}
+
+void
+Rnic::deregisterMr(std::uint32_t key)
+{
+    mrs_.erase(key);
+}
+
+verbs::MemoryRegion*
+Rnic::findMr(std::uint32_t key)
+{
+    auto it = mrs_.find(key);
+    return it == mrs_.end() ? nullptr : it->second;
+}
+
+QpContext&
+Rnic::createQp(verbs::CompletionQueue& cq, verbs::QpConfig config)
+{
+    const std::uint32_t qpn = nextQpn_++;
+    QpRecord record;
+    record.ctx = std::make_unique<QpContext>();
+    record.ctx->qpn = qpn;
+    record.ctx->config = config;
+    record.ctx->cq = &cq;
+    record.requester = std::make_unique<RcRequester>(*this, *record.ctx);
+    record.responder = std::make_unique<RcResponder>(*this, *record.ctx);
+    auto [it, inserted] = qps_.emplace(qpn, std::move(record));
+    assert(inserted);
+    return *it->second.ctx;
+}
+
+void
+Rnic::connectQp(QpContext& qp, std::uint16_t dst_lid, std::uint32_t dst_qpn)
+{
+    qp.dstLid = dst_lid;
+    qp.dstQpn = dst_qpn;
+    qp.connected = true;
+    qp.nextPsn = 0;
+    qp.sendCursor = 0;
+    qp.expectedPsn = 0;
+}
+
+QpContext*
+Rnic::findQp(std::uint32_t qpn)
+{
+    auto it = qps_.find(qpn);
+    return it == qps_.end() ? nullptr : it->second.ctx.get();
+}
+
+void
+Rnic::postSend(QpContext& qp, SendWqe wqe)
+{
+    auto it = qps_.find(qp.qpn);
+    assert(it != qps_.end());
+    it->second.requester->post(std::move(wqe));
+}
+
+void
+Rnic::postRecv(QpContext& qp, RecvWqe wqe)
+{
+    qp.recvQueue.push_back(wqe);
+}
+
+void
+Rnic::sendPacket(net::Packet pkt, QpContext& qp)
+{
+    pkt.srcLid = lid_;
+    pkt.srcQpn = qp.qpn;
+    pkt.dstLid = qp.dstLid;
+    pkt.dstQpn = qp.dstQpn;
+    ++stats_.packetsSent;
+    fabric_.send(std::move(pkt));
+}
+
+void
+Rnic::sendRaw(net::Packet pkt)
+{
+    ++stats_.packetsSent;
+    fabric_.send(std::move(pkt));
+}
+
+void
+Rnic::receive(const net::Packet& pkt)
+{
+    ++stats_.packetsReceived;
+    auto it = qps_.find(pkt.dstQpn);
+    if (it == qps_.end()) {
+        ++stats_.packetsToUnknownQp;
+        return;
+    }
+    QpRecord& record = it->second;
+
+    switch (pkt.op) {
+      case net::Opcode::ReadRequest:
+      case net::Opcode::WriteRequest:
+      case net::Opcode::Send:
+      case net::Opcode::AtomicRequest:
+        record.responder->onRequest(pkt);
+        break;
+      case net::Opcode::ReadResponse:
+      case net::Opcode::AtomicResponse:
+        record.requester->onReadResponse(pkt);
+        break;
+      case net::Opcode::Ack:
+        record.requester->onAck(pkt);
+        break;
+      case net::Opcode::Nak:
+        record.requester->onNak(pkt);
+        break;
+      case net::Opcode::RnrNak:
+        record.requester->onRnrNak(pkt);
+        break;
+    }
+}
+
+std::size_t
+Rnic::activeQpCount() const
+{
+    std::size_t n = 0;
+    for (const auto& [qpn, record] : qps_) {
+        if (record.ctx->active())
+            ++n;
+    }
+    return n;
+}
+
+std::vector<QpContext*>
+Rnic::allQps()
+{
+    std::vector<QpContext*> out;
+    out.reserve(qps_.size());
+    for (auto& [qpn, record] : qps_)
+        out.push_back(record.ctx.get());
+    return out;
+}
+
+} // namespace rnic
+} // namespace ibsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The simulated RDMA NIC.
+ *
+ * One Rnic terminates one fabric port (one LID), owns the node's queue
+ * pairs and the memory-key registry, and dispatches packets between the
+ * fabric and the per-QP Reliable Connection engines (RcRequester /
+ * RcResponder). Its behaviour is parameterized by a DeviceProfile, which is
+ * where the paper's per-silicon quirks live.
+ */
+
+#ifndef IBSIM_RNIC_RNIC_HH
+#define IBSIM_RNIC_RNIC_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "net/fabric.hh"
+#include "odp/odp_driver.hh"
+#include "odp/page_status_board.hh"
+#include "rnic/device_profile.hh"
+#include "rnic/qp_context.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/rng.hh"
+#include "verbs/completion_queue.hh"
+#include "verbs/memory_region.hh"
+
+namespace ibsim {
+namespace rnic {
+
+class RcRequester;
+class RcResponder;
+
+/** Device-level counters. */
+struct RnicStats
+{
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsReceived = 0;
+    std::uint64_t packetsToUnknownQp = 0;
+};
+
+/**
+ * A simulated RNIC attached to the fabric.
+ */
+class Rnic : public net::PortHandler
+{
+  public:
+    Rnic(EventQueue& events, Rng& rng, net::Fabric& fabric,
+         std::uint16_t lid, DeviceProfile profile,
+         mem::AddressSpace& memory, odp::OdpDriver& driver,
+         odp::PageStatusBoard& board);
+    ~Rnic() override;
+
+    Rnic(const Rnic&) = delete;
+    Rnic& operator=(const Rnic&) = delete;
+
+    std::uint16_t lid() const { return lid_; }
+    const DeviceProfile& profile() const { return profile_; }
+    EventQueue& events() { return events_; }
+    Rng& rng() { return rng_; }
+    mem::AddressSpace& memory() { return memory_; }
+    odp::OdpDriver& driver() { return driver_; }
+    odp::PageStatusBoard& board() { return board_; }
+
+    /** @{ Memory key registry (rkey/lkey lookup). */
+    void registerMr(verbs::MemoryRegion& mr);
+    void deregisterMr(std::uint32_t key);
+    verbs::MemoryRegion* findMr(std::uint32_t key);
+    /** @} */
+
+    /** Create an RC QP bound to @p cq. */
+    QpContext& createQp(verbs::CompletionQueue& cq, verbs::QpConfig config);
+
+    /** Point a QP at its remote endpoint and move it to RTS. */
+    void connectQp(QpContext& qp, std::uint16_t dst_lid,
+                   std::uint32_t dst_qpn);
+
+    QpContext* findQp(std::uint32_t qpn);
+
+    /** @{ Work request entry points (called via verbs::QueuePair). */
+    void postSend(QpContext& qp, SendWqe wqe);
+    void postRecv(QpContext& qp, RecvWqe wqe);
+    /** @} */
+
+    /** Fabric ingress. */
+    void receive(const net::Packet& pkt) override;
+
+    /**
+     * Egress helper for the RC engines: stamps source/destination fields
+     * from @p qp and hands the packet to the fabric.
+     */
+    void sendPacket(net::Packet pkt, QpContext& qp);
+
+    /** Egress for pre-addressed packets (UD datagrams). */
+    void sendRaw(net::Packet pkt);
+
+    /** QPs with requester work in flight (drives timeout load scaling). */
+    std::size_t activeQpCount() const;
+
+    /** All QPs on this RNIC (harness convenience). */
+    std::vector<QpContext*> allQps();
+
+    RnicStats& stats() { return stats_; }
+
+  private:
+    struct QpRecord
+    {
+        std::unique_ptr<QpContext> ctx;
+        std::unique_ptr<RcRequester> requester;
+        std::unique_ptr<RcResponder> responder;
+    };
+
+    EventQueue& events_;
+    Rng& rng_;
+    net::Fabric& fabric_;
+    std::uint16_t lid_;
+    DeviceProfile profile_;
+    mem::AddressSpace& memory_;
+    odp::OdpDriver& driver_;
+    odp::PageStatusBoard& board_;
+    std::map<std::uint32_t, QpRecord> qps_;
+    std::map<std::uint32_t, verbs::MemoryRegion*> mrs_;
+    std::uint32_t nextQpn_ = 100;
+    RnicStats stats_;
+};
+
+} // namespace rnic
+} // namespace ibsim
+
+#endif // IBSIM_RNIC_RNIC_HH

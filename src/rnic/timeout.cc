@@ -1,0 +1,36 @@
+#include "rnic/timeout.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibsim {
+namespace rnic {
+
+Time
+timeoutInterval(std::uint8_t cack)
+{
+    assert(cack <= maxCack);
+    if (cack == 0)
+        return Time::max();
+    return Time::ns(4096ll << cack);
+}
+
+std::uint8_t
+effectiveCack(std::uint8_t cack, std::uint8_t min_cack)
+{
+    if (cack == 0)
+        return 0;
+    return std::max(cack, min_cack);
+}
+
+Time
+detectionTime(std::uint8_t cack, const DeviceProfile& profile)
+{
+    const std::uint8_t eff = effectiveCack(cack, profile.minCack);
+    if (eff == 0)
+        return Time::max();
+    return timeoutInterval(eff) * profile.timeoutDetectionFactor;
+}
+
+} // namespace rnic
+} // namespace ibsim

@@ -1,0 +1,127 @@
+#include "simcore/event_queue.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibsim {
+
+EventHandle
+EventQueue::schedule(Time when, Callback cb)
+{
+    assert(when >= now_ && "cannot schedule events in the past");
+    const std::uint64_t id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    ++pendingCount_;
+    return EventHandle{id};
+}
+
+bool
+EventQueue::cancel(EventHandle h)
+{
+    if (!h.valid())
+        return false;
+    // The queue is scanned lazily: we just remember the id and drop the
+    // entry when it reaches the head (or at the next compaction).
+    // Duplicate cancels are filtered by the set insert.
+    //
+    // We cannot cheaply look inside the priority queue, so track ids of
+    // pending entries implicitly: an id is pending iff it was issued and
+    // neither executed nor cancelled. Executed ids are never re-cancelled
+    // in practice; cancelling an already-executed handle merely wastes
+    // one slot until the next compaction.
+    if (!cancelled_.insert(h.id_).second)
+        return false;
+    if (pendingCount_ > 0)
+        --pendingCount_;
+    // Keep the heap from filling up with far-future cancelled timers
+    // (retransmission timers are almost always cancelled by progress).
+    if (cancelled_.size() > 1024 &&
+        cancelled_.size() > queue_.size() / 2) {
+        compact();
+    }
+    return true;
+}
+
+void
+EventQueue::compact()
+{
+    std::vector<Entry> keep;
+    keep.reserve(queue_.size());
+    while (!queue_.empty()) {
+        // Entries come off the heap in order; moving them preserves seq.
+        Entry e = std::move(const_cast<Entry&>(queue_.top()));
+        queue_.pop();
+        if (cancelled_.erase(e.id) == 0)
+            keep.push_back(std::move(e));
+    }
+    for (auto& e : keep)
+        queue_.push(std::move(e));
+    cancelled_.clear();  // anything left referenced executed events
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!queue_.empty()) {
+        auto it = cancelled_.find(queue_.top().id);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        queue_.pop();
+    }
+}
+
+void
+EventQueue::executeNext()
+{
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.when;
+    --pendingCount_;
+    ++executedCount_;
+    e.cb();
+}
+
+bool
+EventQueue::run(Time limit)
+{
+    for (;;) {
+        skipCancelled();
+        if (queue_.empty())
+            return true;
+        if (queue_.top().when > limit) {
+            now_ = limit;
+            return false;
+        }
+        executeNext();
+    }
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()>& pred, Time limit)
+{
+    if (pred())
+        return true;
+    for (;;) {
+        skipCancelled();
+        if (queue_.empty())
+            return false;
+        if (queue_.top().when > limit) {
+            now_ = limit;
+            return false;
+        }
+        executeNext();
+        if (pred())
+            return true;
+    }
+}
+
+void
+EventQueue::advance(Time delta)
+{
+    const Time target = now_ + delta;
+    run(target);
+    now_ = target;
+}
+
+} // namespace ibsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns virtual time for a whole simulated cluster.
+ * Components schedule callbacks at absolute times; the queue executes them
+ * in (time, insertion-order) order, which makes every run deterministic for
+ * a fixed seed. Events can be cancelled through the EventHandle returned at
+ * scheduling time, which is how retransmission timers are disarmed.
+ */
+
+#ifndef IBSIM_SIMCORE_EVENT_QUEUE_HH
+#define IBSIM_SIMCORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.hh"
+
+namespace ibsim {
+
+/**
+ * Handle to a scheduled event, used for cancellation.
+ *
+ * Handles are cheap value types; cancelling an already-executed or
+ * already-cancelled event is a harmless no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() : id_(0) {}
+
+    bool valid() const { return id_ != 0; }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_;
+};
+
+/**
+ * The discrete-event queue and virtual clock.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current virtual time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     *
+     * @p when must not be in the past. Events scheduled for the same time
+     * execute in insertion order.
+     */
+    EventHandle schedule(Time when, Callback cb);
+
+    /** Schedule @p cb after a delay from now. */
+    EventHandle
+    scheduleAfter(Time delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventHandle h);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pendingCount_; }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executedCount_; }
+
+    /**
+     * Run until the queue is empty or @p limit is reached.
+     *
+     * The clock is left at the time of the last executed event (or at
+     * @p limit when the limit cuts the run short).
+     *
+     * @return true if the queue drained, false if the limit was hit first.
+     */
+    bool run(Time limit = Time::max());
+
+    /**
+     * Run until @p pred returns true, checking after every event.
+     *
+     * @return true if the predicate was satisfied; false if the queue
+     * drained or the limit was hit first.
+     */
+    bool runUntil(const std::function<bool()>& pred,
+                  Time limit = Time::max());
+
+    /**
+     * Advance the clock to now() + delta, executing everything due.
+     *
+     * Unlike run(), the clock always ends exactly at the target time, which
+     * models a host thread sleeping through a fixed interval (the
+     * micro-benchmark's usleep).
+     */
+    void advance(Time delta);
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        std::uint64_t id;
+        Callback cb;
+
+        bool
+        operator>(const Entry& o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** Pop and execute the next event. Precondition: queue not empty. */
+    void executeNext();
+
+    /** Skip over cancelled entries at the head. */
+    void skipCancelled();
+
+    /** Drop cancelled entries wholesale when they dominate the heap. */
+    void compact();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    Time now_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t nextId_ = 1;
+    std::size_t pendingCount_ = 0;
+    std::uint64_t executedCount_ = 0;
+};
+
+} // namespace ibsim
+
+#endif // IBSIM_SIMCORE_EVENT_QUEUE_HH

@@ -1,0 +1,49 @@
+#include "simcore/log.hh"
+
+#include <cstdio>
+#include <set>
+
+namespace ibsim {
+namespace log {
+
+namespace {
+
+std::set<std::string>&
+enabledSet()
+{
+    static std::set<std::string> s;
+    return s;
+}
+
+} // namespace
+
+void
+enable(const std::string& component)
+{
+    enabledSet().insert(component);
+}
+
+void
+disableAll()
+{
+    enabledSet().clear();
+}
+
+bool
+enabled(const std::string& component)
+{
+    const auto& s = enabledSet();
+    return s.count("*") > 0 || s.count(component) > 0;
+}
+
+void
+trace(Time when, const std::string& component, const std::string& message)
+{
+    if (!enabled(component))
+        return;
+    std::fprintf(stderr, "[%12s] %-8s %s\n", when.str().c_str(),
+                 component.c_str(), message.c_str());
+}
+
+} // namespace log
+} // namespace ibsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lightweight component-tagged trace logging.
+ *
+ * Logging is off by default and enabled per component (e.g. "rc", "odp") or
+ * globally with "*". Every line carries the virtual timestamp supplied by
+ * the caller, which makes manual trace reading line up with packet captures.
+ */
+
+#ifndef IBSIM_SIMCORE_LOG_HH
+#define IBSIM_SIMCORE_LOG_HH
+
+#include <string>
+
+#include "simcore/time.hh"
+
+namespace ibsim {
+namespace log {
+
+/** Enable tracing for a component tag, or "*" for all. */
+void enable(const std::string& component);
+
+/** Disable all tracing. */
+void disableAll();
+
+/** Whether the component is currently traced. */
+bool enabled(const std::string& component);
+
+/** Emit one line: "[time] component: message" to stderr. */
+void trace(Time when, const std::string& component,
+           const std::string& message);
+
+} // namespace log
+} // namespace ibsim
+
+#endif // IBSIM_SIMCORE_LOG_HH

@@ -1,0 +1,6 @@
+#include "simcore/rng.hh"
+
+// Rng is header-only today; this translation unit anchors the component in
+// the build so future out-of-line additions have a home.
+namespace ibsim {
+} // namespace ibsim

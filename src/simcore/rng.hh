@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic behaviour in the simulator (page fault latency jitter, RNR
+ * wait jitter, host scheduling noise) flows through one seeded Rng so that
+ * every experiment is reproducible and the "probability out of 10 trials"
+ * figures of the paper can be regenerated exactly.
+ */
+
+#ifndef IBSIM_SIMCORE_RNG_HH
+#define IBSIM_SIMCORE_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+#include "simcore/time.hh"
+
+namespace ibsim {
+
+/**
+ * Seeded pseudo-random source used by one simulated cluster.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    /** Re-seed, restarting the sequence. */
+    void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Uniform Time in [lo, hi). */
+    Time
+    uniformTime(Time lo, Time hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return Time::fromNs(uniformInt(lo.toNs(), hi.toNs() - 1));
+    }
+
+    /** Bernoulli trial. */
+    bool chance(double p) { return uniform(0.0, 1.0) < p; }
+
+    /**
+     * Multiplicative jitter: value scaled by a factor uniform in
+     * [1 - spread, 1 + spread].
+     */
+    Time
+    jitter(Time value, double spread)
+    {
+        return value * uniform(1.0 - spread, 1.0 + spread);
+    }
+
+    /** Exponentially distributed duration with the given mean. */
+    Time
+    exponential(Time mean)
+    {
+        std::exponential_distribution<double> d(1.0);
+        return mean * d(engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace ibsim
+
+#endif // IBSIM_SIMCORE_RNG_HH

@@ -1,0 +1,134 @@
+#include "simcore/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace ibsim {
+
+void
+Accumulator::add(double v)
+{
+    samples_.push_back(v);
+    sorted_ = false;
+}
+
+void
+Accumulator::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Accumulator::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+Accumulator::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+Accumulator::stddev() const
+{
+    const std::size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(n - 1));
+}
+
+double
+Accumulator::min() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double
+Accumulator::max() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double
+Accumulator::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - std::floor(rank);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::add(double v)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::int64_t>(std::floor((v - lo_) / width));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLo(std::size_t bucket) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(bucket);
+}
+
+double
+Histogram::bucketHi(std::size_t bucket) const
+{
+    return bucketLo(bucket + 1);
+}
+
+std::string
+Histogram::str(std::size_t bar_width) const
+{
+    std::string out;
+    const std::size_t peak =
+        *std::max_element(counts_.begin(), counts_.end());
+    char line[256];
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        std::size_t bar = 0;
+        if (peak > 0)
+            bar = counts_[b] * bar_width / peak;
+        std::snprintf(line, sizeof(line), "%10.3f..%-10.3f %6zu |",
+                      bucketLo(b), bucketHi(b), counts_[b]);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ibsim

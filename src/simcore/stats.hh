@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small statistics toolkit for experiment results.
+ *
+ * Accumulator collects summary statistics of a sample (mean, stddev, min,
+ * max, percentiles); Histogram buckets samples for the distribution plots
+ * (paper Fig. 12). Both are deliberately simple value types that the bench
+ * harnesses print directly.
+ */
+
+#ifndef IBSIM_SIMCORE_STATS_HH
+#define IBSIM_SIMCORE_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ibsim {
+
+/**
+ * Accumulates a sample of doubles and reports summary statistics.
+ */
+class Accumulator
+{
+  public:
+    void add(double v);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double mean() const;
+    /** Sample standard deviation (n - 1 denominator); 0 for n < 2. */
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+    /** Linear-interpolated percentile, p in [0, 100]. */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with out-of-range samples clamped to
+ * the edge buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double v);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+    std::size_t total() const { return total_; }
+    double bucketLo(std::size_t bucket) const;
+    double bucketHi(std::size_t bucket) const;
+
+    /** Render as rows of "lo..hi count" plus an ASCII bar. */
+    std::string str(std::size_t bar_width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace ibsim
+
+#endif // IBSIM_SIMCORE_STATS_HH

@@ -1,0 +1,26 @@
+#include "simcore/time.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ibsim {
+
+std::string
+Time::str() const
+{
+    char buf[64];
+    const double ns = static_cast<double>(ns_);
+    if (std::llabs(ns_) < 1000) {
+        std::snprintf(buf, sizeof(buf), "%lld ns",
+                      static_cast<long long>(ns_));
+    } else if (std::llabs(ns_) < 1000 * 1000) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    } else if (std::llabs(ns_) < 1000ll * 1000 * 1000) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+    }
+    return buf;
+}
+
+} // namespace ibsim

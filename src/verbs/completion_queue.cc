@@ -1,0 +1,36 @@
+#include "verbs/completion_queue.hh"
+
+namespace ibsim {
+namespace verbs {
+
+void
+CompletionQueue::push(const WorkCompletion& wc)
+{
+    queue_.push_back(wc);
+    ++total_;
+    if (wc.ok()) {
+        ++success_;
+    } else if (!firstErrorSeen_) {
+        firstErrorSeen_ = true;
+        firstError_ = wc;
+    }
+    if (listener_)
+        listener_(wc);
+}
+
+std::vector<WorkCompletion>
+CompletionQueue::poll(std::size_t max)
+{
+    std::vector<WorkCompletion> out;
+    const std::size_t n =
+        (max == 0) ? queue_.size() : std::min(max, queue_.size());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    return out;
+}
+
+} // namespace verbs
+} // namespace ibsim

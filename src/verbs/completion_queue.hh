@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Completion queues.
+ *
+ * RNICs push WorkCompletion entries here; applications poll. Counters track
+ * cumulative totals so experiment harnesses can wait for "all operations
+ * completed" without retaining every entry.
+ */
+
+#ifndef IBSIM_VERBS_COMPLETION_QUEUE_HH
+#define IBSIM_VERBS_COMPLETION_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "verbs/types.hh"
+
+namespace ibsim {
+namespace verbs {
+
+/**
+ * A completion queue shared by any number of QPs.
+ */
+class CompletionQueue
+{
+  public:
+    CompletionQueue() = default;
+    CompletionQueue(const CompletionQueue&) = delete;
+    CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+    /** RNIC-side: insert a completion. */
+    void push(const WorkCompletion& wc);
+
+    /**
+     * Install a push listener (completion-channel style notification).
+     * The entry still lands in the queue for polling.
+     */
+    void
+    setListener(std::function<void(const WorkCompletion&)> listener)
+    {
+        listener_ = std::move(listener);
+    }
+
+    /** Poll up to @p max entries (all pending if max == 0). */
+    std::vector<WorkCompletion> poll(std::size_t max = 0);
+
+    /** Entries pushed over the queue's lifetime. */
+    std::uint64_t totalCompletions() const { return total_; }
+
+    /** Successful entries pushed over the lifetime. */
+    std::uint64_t totalSuccess() const { return success_; }
+
+    /** Errored entries pushed over the lifetime. */
+    std::uint64_t totalErrors() const { return total_ - success_; }
+
+    /** Entries currently pending (pushed, not yet polled). */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** First errored completion seen, if any. */
+    bool hasError() const { return firstErrorSeen_; }
+    const WorkCompletion& firstError() const { return firstError_; }
+
+  private:
+    std::function<void(const WorkCompletion&)> listener_;
+    std::deque<WorkCompletion> queue_;
+    std::uint64_t total_ = 0;
+    std::uint64_t success_ = 0;
+    bool firstErrorSeen_ = false;
+    WorkCompletion firstError_;
+};
+
+} // namespace verbs
+} // namespace ibsim
+
+#endif // IBSIM_VERBS_COMPLETION_QUEUE_HH

@@ -1,0 +1,131 @@
+#include "verbs/queue_pair.hh"
+
+#include <cassert>
+
+#include "rnic/rnic.hh"
+
+namespace ibsim {
+namespace verbs {
+
+void
+QueuePair::connect(std::uint16_t dst_lid, std::uint32_t dst_qpn)
+{
+    rnic_->connectQp(*ctx_, dst_lid, dst_qpn);
+}
+
+void
+QueuePair::postRead(std::uint64_t laddr, std::uint32_t lkey,
+                    std::uint64_t raddr, std::uint32_t rkey,
+                    std::uint32_t length, std::uint64_t wr_id)
+{
+    assert(length > 0);
+    rnic::SendWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.op = WrOpcode::Read;
+    wqe.laddr = laddr;
+    wqe.lkey = lkey;
+    wqe.raddr = raddr;
+    wqe.rkey = rkey;
+    wqe.length = length;
+    rnic_->postSend(*ctx_, wqe);
+}
+
+void
+QueuePair::postWrite(std::uint64_t laddr, std::uint32_t lkey,
+                     std::uint64_t raddr, std::uint32_t rkey,
+                     std::uint32_t length, std::uint64_t wr_id)
+{
+    assert(length > 0);
+    rnic::SendWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.op = WrOpcode::Write;
+    wqe.laddr = laddr;
+    wqe.lkey = lkey;
+    wqe.raddr = raddr;
+    wqe.rkey = rkey;
+    wqe.length = length;
+    rnic_->postSend(*ctx_, wqe);
+}
+
+void
+QueuePair::postSend(std::uint64_t laddr, std::uint32_t lkey,
+                    std::uint32_t length, std::uint64_t wr_id)
+{
+    assert(length > 0);
+    rnic::SendWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.op = WrOpcode::Send;
+    wqe.laddr = laddr;
+    wqe.lkey = lkey;
+    wqe.length = length;
+    rnic_->postSend(*ctx_, wqe);
+}
+
+void
+QueuePair::postSendUd(const AddressHandle& ah, std::uint64_t laddr,
+                      std::uint32_t lkey, std::uint32_t length,
+                      std::uint64_t wr_id)
+{
+    assert(length > 0);
+    assert(ctx_->config.transport == Transport::Ud);
+    rnic::SendWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.op = WrOpcode::Send;
+    wqe.laddr = laddr;
+    wqe.lkey = lkey;
+    wqe.length = length;
+    // Stash the address handle in the remote fields.
+    wqe.raddr = (static_cast<std::uint64_t>(ah.lid) << 32) | ah.qpn;
+    rnic_->postSend(*ctx_, wqe);
+}
+
+void
+QueuePair::postFetchAdd(std::uint64_t laddr, std::uint32_t lkey,
+                        std::uint64_t raddr, std::uint32_t rkey,
+                        std::uint64_t add, std::uint64_t wr_id)
+{
+    rnic::SendWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.op = WrOpcode::FetchAdd;
+    wqe.laddr = laddr;
+    wqe.lkey = lkey;
+    wqe.raddr = raddr;
+    wqe.rkey = rkey;
+    wqe.length = 8;
+    wqe.atomicOperand = add;
+    rnic_->postSend(*ctx_, wqe);
+}
+
+void
+QueuePair::postCompSwap(std::uint64_t laddr, std::uint32_t lkey,
+                        std::uint64_t raddr, std::uint32_t rkey,
+                        std::uint64_t compare, std::uint64_t swap,
+                        std::uint64_t wr_id)
+{
+    rnic::SendWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.op = WrOpcode::CompSwap;
+    wqe.laddr = laddr;
+    wqe.lkey = lkey;
+    wqe.raddr = raddr;
+    wqe.rkey = rkey;
+    wqe.length = 8;
+    wqe.atomicOperand = swap;
+    wqe.atomicCompare = compare;
+    rnic_->postSend(*ctx_, wqe);
+}
+
+void
+QueuePair::postRecv(std::uint64_t addr, std::uint32_t lkey,
+                    std::uint32_t length, std::uint64_t wr_id)
+{
+    rnic::RecvWqe wqe;
+    wqe.wrId = wr_id;
+    wqe.addr = addr;
+    wqe.length = length;
+    wqe.lkey = lkey;
+    rnic_->postRecv(*ctx_, wqe);
+}
+
+} // namespace verbs
+} // namespace ibsim

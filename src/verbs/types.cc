@@ -1,0 +1,59 @@
+#include "verbs/types.hh"
+
+#include <cstdio>
+
+namespace ibsim {
+namespace verbs {
+
+const char*
+wrOpcodeName(WrOpcode op)
+{
+    switch (op) {
+      case WrOpcode::Read: return "READ";
+      case WrOpcode::Write: return "WRITE";
+      case WrOpcode::Send: return "SEND";
+      case WrOpcode::Recv: return "RECV";
+      case WrOpcode::FetchAdd: return "FETCH_ADD";
+      case WrOpcode::CompSwap: return "CMP_SWAP";
+    }
+    return "?";
+}
+
+const char*
+transportName(Transport transport)
+{
+    switch (transport) {
+      case Transport::Rc: return "RC";
+      case Transport::Uc: return "UC";
+      case Transport::Ud: return "UD";
+    }
+    return "?";
+}
+
+const char*
+wcStatusName(WcStatus status)
+{
+    switch (status) {
+      case WcStatus::Success: return "SUCCESS";
+      case WcStatus::RetryExcErr: return "RETRY_EXC_ERR";
+      case WcStatus::RnrRetryExcErr: return "RNR_RETRY_EXC_ERR";
+      case WcStatus::RemAccessErr: return "REM_ACCESS_ERR";
+      case WcStatus::WrFlushErr: return "WR_FLUSH_ERR";
+    }
+    return "?";
+}
+
+std::string
+WorkCompletion::str() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "wc wr_id=%llu %s %s len=%u qpn=%u t=%s",
+                  static_cast<unsigned long long>(wrId),
+                  wrOpcodeName(opcode), wcStatusName(status), byteLen, qpn,
+                  completedAt.str().c_str());
+    return buf;
+}
+
+} // namespace verbs
+} // namespace ibsim

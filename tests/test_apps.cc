@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of the application models: ArgoDSM-like init (MiniDsm) and
+ * SparkUCX-like shuffle (MiniShuffle) — paper Sec. VII.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mini_dsm.hh"
+#include "apps/mini_shuffle.hh"
+
+using namespace ibsim;
+using namespace ibsim::apps;
+
+TEST(MiniDsmTest, WithoutOdpIsFastAndTimeoutFree)
+{
+    DsmConfig config;
+    config.odp = false;
+    MiniDsm dsm(DsmSystemParams::knl(), config);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        auto r = dsm.run(seed);
+        ASSERT_TRUE(r.completed);
+        EXPECT_EQ(r.timeouts, 0u);
+        EXPECT_EQ(r.faultsResolved, 0u);
+        // Dominated by host setup: ~2.2 s, never near a timeout's worth
+        // more.
+        EXPECT_GT(r.executionTime.toSec(), 2.0);
+        EXPECT_LT(r.executionTime.toSec(), 2.6);
+    }
+}
+
+TEST(MiniDsmTest, WithOdpIsBimodal)
+{
+    // Fig. 12a: with ODP the runs split into a fast group (faults only)
+    // and a slow group (+ one transport timeout from the dammed SEND).
+    DsmConfig config;
+    config.odp = true;
+    MiniDsm dsm(DsmSystemParams::knl(), config);
+
+    int timed_out = 0;
+    int fast = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        auto r = dsm.run(seed);
+        ASSERT_TRUE(r.completed);
+        EXPECT_GT(r.faultsResolved, 10u);  // first touches fault
+        if (r.timeouts > 0) {
+            ++timed_out;
+            // UCX default C_ack = 18: T_o ~ 2.15 s on top of the base.
+            EXPECT_GT(r.executionTime.toSec(), 4.0);
+        } else {
+            ++fast;
+            EXPECT_LT(r.executionTime.toSec(), 3.5);
+        }
+    }
+    // Both groups must exist (the defining feature of Fig. 12).
+    EXPECT_GT(timed_out, 0);
+    EXPECT_GT(fast, 0);
+}
+
+TEST(MiniDsmTest, ReedbushDamsLessOftenThanKnl)
+{
+    DsmConfig config;
+    config.odp = true;
+    MiniDsm knl(DsmSystemParams::knl(), config);
+    MiniDsm rb(DsmSystemParams::reedbushH(), config);
+
+    int knl_hits = 0;
+    int rb_hits = 0;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        if (knl.run(seed).timeouts > 0)
+            ++knl_hits;
+        if (rb.run(seed).timeouts > 0)
+            ++rb_hits;
+    }
+    EXPECT_GT(knl_hits, rb_hits);
+}
+
+namespace {
+
+ShuffleRow
+tinyRow(std::size_t qps, std::size_t waves)
+{
+    ShuffleRow row;
+    row.system = "test";
+    row.example = "tiny";
+    row.profile = rnic::DeviceProfile::knl();
+    // Pin fault latency high so cohort staleness is deterministic.
+    row.profile.faultTiming.faultLatencyMin = Time::us(800);
+    row.profile.faultTiming.faultLatencyMax = Time::us(801);
+    row.qps = qps;
+    row.waves = waves;
+    row.computeTotal = Time::ms(50);
+    return row;
+}
+
+} // namespace
+
+TEST(MiniShuffleTest, OdpFloodsAndSlowsTheJob)
+{
+    const auto row = tinyRow(/*qps=*/96, /*waves=*/3);
+    auto base = MiniShuffle(row, /*odp=*/false).run(1);
+    auto odp = MiniShuffle(row, /*odp=*/true).run(1);
+
+    ASSERT_TRUE(base.completed);
+    ASSERT_TRUE(odp.completed);
+    EXPECT_EQ(base.updateFailures, 0u);
+    EXPECT_GT(odp.updateFailures, 0u);
+    EXPECT_GT(odp.retransmissions, base.retransmissions + 50);
+    EXPECT_GT(odp.executionTime.toSec(), 1.2 * base.executionTime.toSec());
+    EXPECT_GT(odp.longestWave.toMs(), 5.0);
+}
+
+TEST(MiniShuffleTest, FewQpsEscapeTheFlood)
+{
+    const auto row = tinyRow(/*qps=*/8, /*waves=*/3);
+    auto odp = MiniShuffle(row, /*odp=*/true).run(1);
+    ASSERT_TRUE(odp.completed);
+    EXPECT_EQ(odp.updateFailures, 0u);
+    // Page faults only: the wave stalls stay in the common band.
+    EXPECT_LT(odp.longestWave.toMs(), 10.0);
+}
+
+TEST(MiniShuffleTest, Table13RowsAreWellFormed)
+{
+    auto rows = ShuffleRow::table13();
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto& r : rows) {
+        EXPECT_FALSE(r.system.empty());
+        EXPECT_GE(r.qps, 210u);
+        EXPECT_LE(r.qps, 2858u);
+        EXPECT_GE(r.waves, 1u);
+    }
+}

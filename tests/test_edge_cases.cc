@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Edge-case coverage: deregistration, event-queue compaction under mass
+ * cancellation, time extremes, RNG tails, and error paths not exercised
+ * elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/rng.hh"
+#include "simcore/stats.hh"
+
+using namespace ibsim;
+
+TEST(EdgeCases, DeregisteredKeyFailsRemoteAccess)
+{
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 61);
+    Node& client = cluster.node(0);
+    Node& server = cluster.node(1);
+    auto& ccq = client.createCq();
+    auto& scq = server.createCq();
+    auto [cqp, sqp] = cluster.connectRc(client, ccq, server, scq);
+
+    const auto src = server.alloc(4096);
+    const auto dst = client.alloc(4096);
+    auto& smr = server.registerMemory(src, 4096,
+                                      verbs::AccessFlags::pinned());
+    auto& cmr = client.registerMemory(dst, 4096,
+                                      verbs::AccessFlags::pinned());
+
+    // Works before deregistration...
+    cqp.postRead(dst, cmr.lkey(), src, smr.rkey(), 64, 1);
+    ASSERT_TRUE(cluster.runUntil(
+        [&] { return ccq.totalCompletions() == 1; }, Time::sec(1)));
+    EXPECT_TRUE(ccq.poll()[0].ok());
+
+    // ...and NAKs after: the rkey no longer resolves.
+    server.deregisterMemory(smr);
+    auto cqp2 = cluster
+                    .connectRc(client, ccq, server, scq)
+                    .first;  // fresh QP: the old one is fine, but reuse
+    cqp2.postRead(dst, cmr.lkey(), src, smr.rkey(), 64, 2);
+    ASSERT_TRUE(cluster.runUntil(
+        [&] { return ccq.totalCompletions() == 2; }, Time::sec(1)));
+    EXPECT_EQ(ccq.poll()[0].status, verbs::WcStatus::RemAccessErr);
+}
+
+TEST(EdgeCases, EventQueueCompactionUnderMassCancel)
+{
+    EventQueue q;
+    // Far-future timers cancelled in bulk trigger heap compaction.
+    std::vector<EventHandle> handles;
+    int fired = 0;
+    for (int i = 0; i < 5000; ++i)
+        handles.push_back(
+            q.schedule(Time::sec(100 + i), [&] { ++fired; }));
+    int kept = 0;
+    q.schedule(Time::us(1), [&] { ++kept; });
+    for (auto& h : handles)
+        EXPECT_TRUE(q.cancel(h));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(kept, 1);
+    EXPECT_EQ(q.now(), Time::us(1));  // never visited the cancelled tail
+}
+
+TEST(EdgeCases, CancelInterleavedWithExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 2000; ++i)
+        handles.push_back(
+            q.schedule(Time::us(i + 1), [&] { ++fired; }));
+    // Cancel every other event, some already past once we start running.
+    for (std::size_t i = 0; i < handles.size(); i += 2)
+        q.cancel(handles[i]);
+    q.run();
+    EXPECT_EQ(fired, 1000);
+}
+
+TEST(EdgeCases, TimeExtremes)
+{
+    EXPECT_GT(Time::max(), Time::sec(1e9));
+    EXPECT_EQ(Time::fromNs(-5).toNs(), -5);
+    EXPECT_LT(Time::fromNs(-5), Time());
+    EXPECT_EQ((Time::us(1) * 0.0).toNs(), 0);
+}
+
+TEST(EdgeCases, RngExponentialMean)
+{
+    Rng rng(3);
+    double sum = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(Time::us(100)).toUs();
+    EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(EdgeCases, ZeroCackDisablesTimeoutEntirely)
+{
+    // C_ack = 0 disables the timer (IBA): a lost packet is never
+    // recovered and never aborts either.
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 1, 5);
+    Node& node = cluster.node(0);
+    auto& cq = node.createCq();
+    verbs::QpConfig config;
+    config.cack = 0;
+    auto qp = node.createQp(cq, config);
+    qp.connect(/*dst_lid=*/404, 1);
+
+    const auto buf = node.alloc(4096);
+    auto& mr = node.registerMemory(buf, 4096,
+                                   verbs::AccessFlags::pinned());
+    qp.postRead(buf, mr.lkey(), 0x40000000, 1, 64, 1);
+    cluster.drain(Time::sec(100));
+    EXPECT_EQ(cq.totalCompletions(), 0u);
+    EXPECT_FALSE(qp.inError());
+    EXPECT_EQ(qp.stats().timeouts, 0u);
+}
+
+TEST(EdgeCases, SameNodeLoopbackQp)
+{
+    // A QP pair within one node: loopback through the fabric.
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 1, 5);
+    Node& node = cluster.node(0);
+    auto& cq = node.createCq();
+    auto qa = node.createQp(cq, {});
+    auto qb = node.createQp(cq, {});
+    qa.connect(node.lid(), qb.qpn());
+    qb.connect(node.lid(), qa.qpn());
+
+    const auto src = node.alloc(4096);
+    const auto dst = node.alloc(4096);
+    node.memory().write(src, std::vector<std::uint8_t>(32, 0x99));
+    auto& mr = node.registerMemory(src, 4096,
+                                   verbs::AccessFlags::pinned());
+    auto& mr2 = node.registerMemory(dst, 4096,
+                                    verbs::AccessFlags::pinned());
+    qa.postRead(dst, mr2.lkey(), src, mr.rkey(), 32, 1);
+    ASSERT_TRUE(cluster.runUntil(
+        [&] { return cq.totalCompletions() == 1; }, Time::sec(1)));
+    EXPECT_EQ(node.memory().read(dst, 32),
+              std::vector<std::uint8_t>(32, 0x99));
+}
+
+TEST(EdgeCases, HistogramSingleBucket)
+{
+    Histogram h(0.0, 1.0, 1);
+    h.add(0.5);
+    h.add(2.0);
+    EXPECT_EQ(h.count(0), 2u);
+}

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Unit tests of the host memory substrate and the ODP engine: address
+ * spaces, translation tables, the driver's fault lifecycle, and the
+ * page-status board's update-failure machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "odp/odp_driver.hh"
+#include "odp/page_status_board.hh"
+#include "odp/translation_table.hh"
+
+using namespace ibsim;
+using namespace ibsim::mem;
+using namespace ibsim::odp;
+
+TEST(AddressSpaceTest, AllocIsPageAlignedAndDisjoint)
+{
+    AddressSpace as;
+    const auto a = as.alloc(100);
+    const auto b = as.alloc(5000);
+    const auto c = as.alloc(1);
+    EXPECT_EQ(a % pageSize, 0u);
+    EXPECT_EQ(b % pageSize, 0u);
+    EXPECT_EQ(b - a, pageSize);          // 100 B rounds to one page
+    EXPECT_EQ(c - b, 2 * pageSize);      // 5000 B rounds to two pages
+    EXPECT_EQ(as.reservedBytes(), 4 * pageSize);
+}
+
+TEST(AddressSpaceTest, PresenceFollowsTouchAndRelease)
+{
+    AddressSpace as;
+    const auto base = as.alloc(3 * pageSize);
+    EXPECT_FALSE(as.present(base));
+    as.touch(base + pageSize, 2 * pageSize);
+    EXPECT_FALSE(as.present(base));
+    EXPECT_TRUE(as.present(base + pageSize));
+    EXPECT_TRUE(as.present(base + 2 * pageSize));
+    EXPECT_EQ(as.presentPages(), 2u);
+
+    as.releasePage(base + pageSize);
+    EXPECT_FALSE(as.present(base + pageSize));
+    EXPECT_EQ(as.presentPages(), 1u);
+}
+
+TEST(AddressSpaceTest, WriteReadRoundTripAcrossPages)
+{
+    AddressSpace as;
+    const auto base = as.alloc(2 * pageSize);
+    std::vector<std::uint8_t> data(pageSize, 0);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+
+    // Straddle the page boundary.
+    const auto addr = base + pageSize / 2;
+    as.write(addr, data);
+    EXPECT_EQ(as.read(addr, data.size()), data);
+    EXPECT_TRUE(as.present(base));
+    EXPECT_TRUE(as.present(base + pageSize));
+}
+
+TEST(AddressSpaceTest, ReadOfAbsentPagesIsZeroAndNonFaulting)
+{
+    AddressSpace as;
+    const auto base = as.alloc(pageSize);
+    const auto out = as.read(base, 16);
+    EXPECT_EQ(out, std::vector<std::uint8_t>(16, 0));
+    EXPECT_FALSE(as.present(base));  // a peek, not a touch
+}
+
+TEST(AddressSpaceTest, TouchEndpointInclusive)
+{
+    AddressSpace as;
+    const auto base = as.alloc(2 * pageSize);
+    // A range ending exactly on the boundary must not touch the next page.
+    as.touch(base, pageSize);
+    EXPECT_TRUE(as.present(base));
+    EXPECT_FALSE(as.present(base + pageSize));
+}
+
+TEST(TranslationTableTest, PinnedTableIsAlwaysMapped)
+{
+    TranslationTable t(/*odp=*/false);
+    EXPECT_TRUE(t.mappedPage(0x12345));
+    EXPECT_TRUE(t.mappedRange(0x10000, 1 << 20));
+    EXPECT_EQ(t.firstUnmapped(0x10000, 1 << 20), 0u);
+}
+
+TEST(TranslationTableTest, OdpTableTracksPages)
+{
+    TranslationTable t(/*odp=*/true);
+    const std::uint64_t base = 0x10000;
+    EXPECT_FALSE(t.mappedPage(base));
+    EXPECT_EQ(t.firstUnmapped(base, 100), base);
+
+    t.mapPage(base);
+    EXPECT_TRUE(t.mappedPage(base + 100));  // same page
+    EXPECT_TRUE(t.mappedRange(base, 100));
+    // Next page still unmapped.
+    EXPECT_EQ(t.firstUnmapped(base, 2 * pageSize), base + pageSize);
+
+    t.mapRange(base, 3 * pageSize);
+    EXPECT_EQ(t.mappedPages(), 3u);
+    EXPECT_TRUE(t.invalidatePage(base + pageSize));
+    EXPECT_FALSE(t.invalidatePage(base + pageSize));  // already gone
+    EXPECT_EQ(t.firstUnmapped(base, 3 * pageSize), base + pageSize);
+}
+
+namespace {
+
+struct DriverFixture : public ::testing::Test
+{
+    EventQueue events;
+    Rng rng{1};
+    AddressSpace memory;
+    FaultTiming timing;
+    TranslationTable table{/*odp=*/true};
+
+    DriverFixture()
+    {
+        timing.faultLatencyMin = Time::us(500);
+        timing.faultLatencyMax = Time::us(501);
+    }
+};
+
+} // namespace
+
+TEST_F(DriverFixture, FaultResolvesAfterLatency)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 0x20000;
+    bool resolved = false;
+    driver.raiseFault(table, va, [&] { resolved = true; });
+    EXPECT_TRUE(driver.faultInFlight(table, va));
+    events.run();
+    EXPECT_TRUE(resolved);
+    EXPECT_TRUE(table.mappedPage(va));
+    EXPECT_TRUE(memory.present(va));
+    EXPECT_FALSE(driver.faultInFlight(table, va));
+    EXPECT_NEAR(events.now().toUs(), 500.0, 2.0);
+    EXPECT_EQ(driver.stats().faultsRaised, 1u);
+    EXPECT_EQ(driver.stats().faultsResolved, 1u);
+}
+
+TEST_F(DriverFixture, ConcurrentFaultsOnOnePageCoalesce)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 0x20000;
+    int callbacks = 0;
+    driver.raiseFault(table, va, [&] { ++callbacks; });
+    driver.raiseFault(table, va + 8, [&] { ++callbacks; });  // same page
+    events.run();
+    EXPECT_EQ(callbacks, 2);
+    EXPECT_EQ(driver.stats().faultsRaised, 1u);
+    EXPECT_EQ(driver.stats().faultsCoalesced, 1u);
+}
+
+TEST_F(DriverFixture, ResolutionObserverFires)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    std::uint64_t observed_page = 0;
+    driver.setResolutionObserver(
+        [&](TranslationTable&, std::uint64_t page) {
+            observed_page = page;
+        });
+    driver.raiseFault(table, 5 * pageSize);
+    events.run();
+    EXPECT_EQ(observed_page, 5u);
+}
+
+TEST_F(DriverFixture, CongestionProbeStretchesLatency)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    driver.setCongestionProbe([] { return 4.0; });
+    driver.raiseFault(table, 0x20000);
+    events.run();
+    EXPECT_NEAR(events.now().toUs(), 2000.0, 8.0);
+}
+
+TEST_F(DriverFixture, InvalidateReclaimsHostPageAndFlushesTable)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 0x20000;
+    driver.raiseFault(table, va);
+    events.run();
+    ASSERT_TRUE(table.mappedPage(va));
+
+    driver.invalidate(table, va);
+    events.run();
+    EXPECT_FALSE(table.mappedPage(va));
+    EXPECT_FALSE(memory.present(va));
+    EXPECT_EQ(driver.stats().invalidations, 1u);
+}
+
+TEST_F(DriverFixture, PrefetchMapsWithoutFaults)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    driver.prefetch(table, 0x20000, 3 * pageSize);
+    events.run();
+    EXPECT_EQ(table.mappedPages(), 3u);
+    EXPECT_EQ(driver.stats().faultsRaised, 0u);
+    EXPECT_EQ(driver.stats().prefetchedPages, 3u);
+    // 3 pages at prefetchLatencyPerPage each.
+    EXPECT_NEAR(events.now().toUs(),
+                3 * timing.prefetchLatencyPerPage.toUs(), 1.0);
+}
+
+namespace {
+
+struct BoardFixture : public ::testing::Test
+{
+    EventQueue events;
+    Rng rng{1};
+    FloodQuirkConfig config;
+    TranslationTable table{/*odp=*/true};
+
+    BoardFixture()
+    {
+        config.updateFanout = 4;
+        config.staleThreshold = Time::us(500);
+        config.slowUpdateBase = Time::ms(1);
+        config.slowServiceBase = Time::us(100);
+    }
+};
+
+} // namespace
+
+TEST_F(BoardFixture, SmallCohortGetsPromptUpdates)
+{
+    PageStatusBoard board(events, rng, config);
+    for (std::uint32_t qpn = 0; qpn < 4; ++qpn)
+        board.registerWaiter(&table, 7, qpn);
+    events.advance(Time::ms(2));  // everyone is "old" now
+    board.onPageMapped(table, 7);
+    EXPECT_EQ(board.stats().promptUpdates, 4u);
+    EXPECT_EQ(board.stats().updateFailures, 0u);
+    for (std::uint32_t qpn = 0; qpn < 4; ++qpn)
+        EXPECT_TRUE(board.fresh(&table, 7, qpn));
+}
+
+TEST_F(BoardFixture, StaleWaitersOverFanoutFail)
+{
+    PageStatusBoard board(events, rng, config);
+    // Six old waiters (stale) plus two fresh ones.
+    for (std::uint32_t qpn = 0; qpn < 6; ++qpn)
+        board.registerWaiter(&table, 7, qpn);
+    events.advance(Time::ms(1));
+    for (std::uint32_t qpn = 6; qpn < 8; ++qpn)
+        board.registerWaiter(&table, 7, qpn);
+
+    board.onPageMapped(table, 7);
+    EXPECT_EQ(board.stats().updateFailures, 6u);
+    EXPECT_EQ(board.stats().promptUpdates, 2u);
+    EXPECT_EQ(board.staleCount(), 6u);
+    EXPECT_FALSE(board.fresh(&table, 7, 0));
+    EXPECT_TRUE(board.fresh(&table, 7, 6));
+
+    // The slow path eventually refreshes everyone.
+    events.run();
+    EXPECT_EQ(board.staleCount(), 0u);
+    EXPECT_EQ(board.stats().slowRefreshes, 6u);
+    EXPECT_TRUE(board.fresh(&table, 7, 0));
+}
+
+TEST_F(BoardFixture, QuirkDisabledNeverFails)
+{
+    config.enabled = false;
+    PageStatusBoard board(events, rng, config);
+    for (std::uint32_t qpn = 0; qpn < 20; ++qpn)
+        board.registerWaiter(&table, 7, qpn);
+    events.advance(Time::ms(2));
+    board.onPageMapped(table, 7);
+    EXPECT_EQ(board.stats().updateFailures, 0u);
+    EXPECT_EQ(board.stats().promptUpdates, 20u);
+}
+
+TEST_F(BoardFixture, RegistrationIsIdempotent)
+{
+    PageStatusBoard board(events, rng, config);
+    board.registerWaiter(&table, 3, 42);
+    events.advance(Time::ms(1));
+    board.registerWaiter(&table, 3, 42);  // keeps the original timestamp
+    EXPECT_EQ(board.waiterCount(), 1u);
+    EXPECT_EQ(board.stats().waitersRegistered, 1u);
+}
+
+TEST_F(BoardFixture, UnregisterRemovesStaleWaiter)
+{
+    PageStatusBoard board(events, rng, config);
+    for (std::uint32_t qpn = 0; qpn < 6; ++qpn)
+        board.registerWaiter(&table, 7, qpn);
+    events.advance(Time::ms(1));
+    board.onPageMapped(table, 7);
+    ASSERT_EQ(board.staleCount(), 6u);
+
+    board.unregisterWaiter(&table, 7, 3);
+    EXPECT_EQ(board.staleCount(), 5u);
+    EXPECT_TRUE(board.fresh(&table, 7, 3));
+    events.run();
+    EXPECT_EQ(board.staleCount(), 0u);
+}
+
+TEST_F(BoardFixture, LifoServiceRefreshesNewestFailureFirst)
+{
+    PageStatusBoard board(events, rng, config);
+    // Two separate pages, each with an over-fanout stale cohort; page 9's
+    // cohort fails later than page 7's.
+    for (std::uint32_t qpn = 0; qpn < 5; ++qpn)
+        board.registerWaiter(&table, 7, qpn);
+    for (std::uint32_t qpn = 10; qpn < 15; ++qpn)
+        board.registerWaiter(&table, 9, qpn);
+    events.advance(Time::ms(1));
+    board.onPageMapped(table, 7);
+    board.onPageMapped(table, 9);
+
+    // Serve exactly one refresh: it must come from page 9's cohort (the
+    // most recent failures sit at the back of the LIFO queue).
+    events.runUntil(
+        [&] { return board.stats().slowRefreshes == 1; });
+    bool page9_served = false;
+    for (std::uint32_t qpn = 10; qpn < 15; ++qpn)
+        page9_served |= board.fresh(&table, 9, qpn);
+    EXPECT_TRUE(page9_served);
+}

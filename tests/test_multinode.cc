@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Multi-node fabric behaviour: per-port contention (a non-blocking
+ * switch), many-to-one incast, and cross-node independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+using namespace ibsim;
+
+namespace {
+
+/** A cluster of @p n nodes with pinned buffers and one QP per pair. */
+struct Star
+{
+    Cluster cluster;
+    std::vector<verbs::CompletionQueue*> cqs;
+
+    explicit Star(std::size_t n)
+        : cluster(rnic::DeviceProfile::connectX4(), n, 47)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            cqs.push_back(&cluster.node(i).createCq());
+    }
+};
+
+} // namespace
+
+TEST(MultiNode, DisjointPairsDoNotContend)
+{
+    // Two independent flows (0->1 and 2->3) of large writes must overlap
+    // perfectly: same completion time as either flow alone.
+    auto run = [](bool both) {
+        Star star(4);
+        auto& c = star.cluster;
+        net::LinkConfig link;  // defaults
+
+        auto setup = [&](std::size_t from, std::size_t to) {
+            auto [q, r] = c.connectRc(c.node(from), *star.cqs[from],
+                                      c.node(to), *star.cqs[to]);
+            const auto src = c.node(from).alloc(1 << 20);
+            const auto dst = c.node(to).alloc(1 << 20);
+            c.node(from).memory().touch(src, 1 << 20);
+            auto& smr = c.node(from).registerMemory(
+                src, 1 << 20, verbs::AccessFlags::pinned());
+            auto& dmr = c.node(to).registerMemory(
+                dst, 1 << 20, verbs::AccessFlags::pinned());
+            for (int i = 0; i < 64; ++i)
+                q.postWrite(src, smr.lkey(), dst, dmr.rkey(), 4096,
+                            i);
+            return star.cqs[from];
+        };
+
+        auto* cq0 = setup(0, 1);
+        verbs::CompletionQueue* cq2 = nullptr;
+        if (both)
+            cq2 = setup(2, 3);
+        c.runUntil([&] {
+            return cq0->totalSuccess() >= 64 &&
+                   (!cq2 || cq2->totalSuccess() >= 64);
+        });
+        return c.now().toUs();
+    };
+
+    const double alone = run(false);
+    const double together = run(true);
+    EXPECT_NEAR(alone, together, alone * 0.01);
+}
+
+TEST(MultiNode, IncastSerializesOnTheVictimPort)
+{
+    // Three senders into one receiver: the victim's ingress link is the
+    // bottleneck, so the incast takes ~3x one flow's wire time.
+    auto run = [](std::size_t senders) {
+        Star star(4);
+        auto& c = star.cluster;
+        std::vector<verbs::CompletionQueue*> scqs;
+        for (std::size_t s = 1; s <= senders; ++s) {
+            auto [q, r] = c.connectRc(c.node(s), *star.cqs[s], c.node(0),
+                                      *star.cqs[0]);
+            const auto src = c.node(s).alloc(1 << 20);
+            const auto dst = c.node(0).alloc(1 << 20);
+            c.node(s).memory().touch(src, 1 << 20);
+            auto& smr = c.node(s).registerMemory(
+                src, 1 << 20, verbs::AccessFlags::pinned());
+            auto& dmr = c.node(0).registerMemory(
+                dst, 1 << 20, verbs::AccessFlags::pinned());
+            for (int i = 0; i < 64; ++i)
+                q.postWrite(src, smr.lkey(), dst, dmr.rkey(), 4096, i);
+            scqs.push_back(star.cqs[s]);
+        }
+        c.runUntil([&] {
+            for (auto* cq : scqs) {
+                if (cq->totalSuccess() < 64)
+                    return false;
+            }
+            return true;
+        });
+        return c.now().toUs();
+    };
+
+    const double one = run(1);
+    const double three = run(3);
+    EXPECT_GT(three, 2.0 * one);
+    EXPECT_LT(three, 4.0 * one);
+}
+
+TEST(MultiNode, AllPairsTrafficCompletes)
+{
+    constexpr std::size_t n = 5;
+    Star star(n);
+    auto& c = star.cluster;
+
+    std::size_t expected_per_node[n] = {};
+    for (std::size_t from = 0; from < n; ++from) {
+        for (std::size_t to = 0; to < n; ++to) {
+            if (from == to)
+                continue;
+            auto [q, r] = c.connectRc(c.node(from), *star.cqs[from],
+                                      c.node(to), *star.cqs[to]);
+            const auto src = c.node(from).alloc(4096);
+            const auto dst = c.node(to).alloc(4096);
+            c.node(from).memory().touch(src, 4096);
+            auto& smr = c.node(from).registerMemory(
+                src, 4096, verbs::AccessFlags::pinned());
+            auto& dmr = c.node(to).registerMemory(
+                dst, 4096, verbs::AccessFlags::pinned());
+            q.postWrite(src, smr.lkey(), dst, dmr.rkey(), 256,
+                        from * 10 + to);
+            ++expected_per_node[from];
+        }
+    }
+    ASSERT_TRUE(c.runUntil(
+        [&] {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (star.cqs[i]->totalSuccess() < expected_per_node[i])
+                    return false;
+            }
+            return true;
+        },
+        Time::sec(1)));
+}
+
+TEST(MultiNode, OdpFaultsAreIndependentPerNode)
+{
+    Star star(3);
+    auto& c = star.cluster;
+    // Node 0 reads ODP buffers on nodes 1 and 2 concurrently; each
+    // server's driver handles exactly its own fault.
+    for (std::size_t s = 1; s <= 2; ++s) {
+        auto [q, r] = c.connectRc(c.node(0), *star.cqs[0], c.node(s),
+                                  *star.cqs[s]);
+        const auto src = c.node(s).alloc(4096);
+        const auto dst = c.node(0).alloc(4096);
+        auto& smr = c.node(s).registerMemory(src, 4096,
+                                             verbs::AccessFlags::odp());
+        auto& dmr = c.node(0).registerMemory(
+            dst, 4096, verbs::AccessFlags::pinned());
+        q.postRead(dst, dmr.lkey(), src, smr.rkey(), 100, s);
+    }
+    ASSERT_TRUE(c.runUntil(
+        [&] { return star.cqs[0]->totalSuccess() >= 2; }, Time::sec(2)));
+    EXPECT_EQ(c.node(1).driver().stats().faultsResolved, 1u);
+    EXPECT_EQ(c.node(2).driver().stats().faultsResolved, 1u);
+    EXPECT_EQ(c.node(0).driver().stats().faultsResolved, 0u);
+}

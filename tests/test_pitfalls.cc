@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Integration tests of the two pitfalls through the paper's own
+ * micro-benchmark: packet damming (Sec. V) and packet flood (Sec. VI),
+ * plus the recovery paths (PSN-sequence-error NAK, timeout) and the
+ * timeout probe of Sec. IV-B.
+ */
+
+#include <gtest/gtest.h>
+
+#include "capture/analysis.hh"
+#include "pitfall/detectors.hh"
+#include "pitfall/microbench.hh"
+#include "pitfall/timeout_probe.hh"
+#include "rnic/timeout.hh"
+
+using namespace ibsim;
+using namespace ibsim::pitfall;
+
+namespace {
+
+MicroBenchConfig
+dammingConfig(Time interval, std::size_t num_ops = 2,
+              OdpMode mode = OdpMode::BothSide)
+{
+    MicroBenchConfig config;
+    config.numOps = num_ops;
+    config.numQps = 1;
+    config.size = 100;
+    config.interval = interval;
+    config.odpMode = mode;
+    return config;
+}
+
+} // namespace
+
+TEST(TimeoutProbe, MatchesTheoreticalDetectionTime)
+{
+    // Fig. 2: on a CX4 profile (c0 = 16), requesting C_ack = 1 clamps to
+    // 16: T_tr = 268 ms, T_o = 2 * T_tr ~ 537 ms.
+    TimeoutProbe probe(rnic::DeviceProfile::connectX4());
+    auto r = probe.measure(/*cack=*/1);
+    ASSERT_TRUE(r.aborted);
+    EXPECT_EQ(r.effectiveCack, 16);
+    EXPECT_NEAR(r.detectedTimeout.toMs(), 537.0, 5.0);
+
+    // Above the floor the requested value takes over: C_ack = 18 gives
+    // T_tr = 1.07 s, T_o ~ 2.15 s.
+    auto r18 = probe.measure(/*cack=*/18);
+    EXPECT_NEAR(r18.detectedTimeout.toSec(), 2.147, 0.05);
+}
+
+TEST(TimeoutProbe, ConnectX5HasLowerFloor)
+{
+    TimeoutProbe probe(rnic::DeviceProfile::connectX5());
+    auto r = probe.measure(/*cack=*/1);
+    ASSERT_TRUE(r.aborted);
+    EXPECT_EQ(r.effectiveCack, 12);
+    EXPECT_NEAR(r.detectedTimeout.toMs(), 33.6, 1.0);
+}
+
+TEST(PacketDamming, TwoReadsInsideWindowTimeOut)
+{
+    // Interval of 1 ms falls inside the ~4.5 ms both-side pending window:
+    // the second READ's exchange is dammed and only the ~537 ms transport
+    // timeout recovers it (Figs. 4 and 5).
+    MicroBenchmark bench(dammingConfig(Time::ms(1)),
+                         rnic::DeviceProfile::knl(), /*seed=*/7);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_FALSE(r.qpError);  // no error completion: the silent pitfall
+    EXPECT_GE(r.timeouts, 1u);
+    EXPECT_GT(r.executionTime.toMs(), 400.0);
+    EXPECT_LT(r.executionTime.toMs(), 700.0);
+
+    // The damming detector sees it in the capture.
+    auto events = detectDamming(*bench.packetCapture());
+    ASSERT_GE(events.size(), 1u);
+    EXPECT_GT(events[0].gap.toMs(), 400.0);
+}
+
+TEST(PacketDamming, WideIntervalEscapesTheWindow)
+{
+    // 6 ms is beyond the both-side window: no timeout, fast completion.
+    MicroBenchmark bench(dammingConfig(Time::ms(6)),
+                         rnic::DeviceProfile::knl(), /*seed=*/7);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_EQ(r.timeouts, 0u);
+    EXPECT_LT(r.executionTime.toMs(), 30.0);
+}
+
+TEST(PacketDamming, ClientSideWindowIsHalfMillisecond)
+{
+    // Fig. 6b: client-side ODP dams only up to ~0.5 ms intervals.
+    MicroBenchmark inside(dammingConfig(Time::us(300), 2,
+                                        OdpMode::ClientSide),
+                          rnic::DeviceProfile::knl(), 3);
+    auto rin = inside.run();
+    EXPECT_GE(rin.timeouts, 1u);
+
+    MicroBenchmark outside(dammingConfig(Time::us(900), 2,
+                                         OdpMode::ClientSide),
+                           rnic::DeviceProfile::knl(), 3);
+    auto rout = outside.run();
+    EXPECT_EQ(rout.timeouts, 0u);
+    EXPECT_LT(rout.executionTime.toMs(), 30.0);
+}
+
+TEST(PacketDamming, ThirdReadOutsideWindowTriggersNakRecovery)
+{
+    // Fig. 8: with three READs at 2.5 ms spacing the second is dammed but
+    // the third lands after the window, provoking a PSN-sequence-error
+    // NAK and immediate go-back-N recovery -- no timeout.
+    MicroBenchmark bench(dammingConfig(Time::ms(2.5), 3),
+                         rnic::DeviceProfile::knl(), 11);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_EQ(r.timeouts, 0u);
+    EXPECT_GE(r.seqNaksReceived, 1u);
+    EXPECT_LT(r.executionTime.toMs(), 30.0);
+}
+
+TEST(PacketDamming, AllReadsInsideWindowStillTimeOut)
+{
+    // Sec. V-B: the timeout survives more operations when every READ fits
+    // into the first one's pending period.
+    MicroBenchmark bench(dammingConfig(Time::us(800), 4),
+                         rnic::DeviceProfile::knl(), 11);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_GE(r.timeouts, 1u);
+    EXPECT_GT(r.executionTime.toMs(), 400.0);
+}
+
+TEST(PacketDamming, DoesNotOccurOnConnectX6)
+{
+    // Sec. V-C: never observed on ConnectX-6.
+    MicroBenchmark bench(dammingConfig(Time::ms(1)),
+                         rnic::DeviceProfile::connectX6(), 7);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_EQ(r.timeouts, 0u);
+    EXPECT_LT(r.executionTime.toMs(), 30.0);
+}
+
+TEST(PacketDamming, NoOdpNoDamming)
+{
+    MicroBenchmark bench(dammingConfig(Time::ms(1), 2, OdpMode::None),
+                         rnic::DeviceProfile::knl(), 7);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_EQ(r.timeouts, 0u);
+    EXPECT_LT(r.executionTime.toMs(), 10.0);
+}
+
+TEST(PacketFlood, ManyQpsDegradeClientSideOdp)
+{
+    // Sec. VI: 128 QPs x 1 op each on a shared page set, client-side ODP.
+    MicroBenchConfig config;
+    config.numOps = 128;
+    config.numQps = 128;
+    config.size = 32;
+    config.interval = Time::us(8);
+    config.odpMode = OdpMode::ClientSide;
+    config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
+    // Pin the fault latency near the top of the common-case band so the
+    // early registrants are deterministically one retransmission deep.
+    auto profile = rnic::DeviceProfile::knl();
+    profile.faultTiming.faultLatencyMin = Time::us(900);
+    profile.faultTiming.faultLatencyMax = Time::us(901);
+    MicroBenchmark bench(config, profile, 5);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_GT(r.updateFailures, 0u);
+    EXPECT_GT(r.retransmissions, 100u);
+
+    // At this small scale the longest-stuck QP retransmits only a
+    // handful of times before the slow refresh lands (paper-scale floods
+    // reach hundreds, see bench_fig9_flood).
+    auto events = detectFlood(*bench.packetCapture(),
+                              FloodDetectorConfig{/*min rexmits=*/4});
+    EXPECT_GE(events.size(), 1u);
+}
+
+TEST(PacketFlood, FewQpsStayWithinCommonOverheads)
+{
+    // Below the ~10-QP update fanout no update failure occurs; execution
+    // stays within the common page fault band. (Enough operations that
+    // the posting span outlasts any damming episode, as in the paper's
+    // Fig. 9 runs: a clean later request always rescues via seq NAK.)
+    MicroBenchConfig config;
+    config.numOps = 512;
+    config.numQps = 8;
+    config.size = 32;
+    config.interval = Time::us(8);
+    config.odpMode = OdpMode::ClientSide;
+    config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
+    MicroBenchmark bench(config, rnic::DeviceProfile::knl(), 5);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_EQ(r.updateFailures, 0u);
+    EXPECT_LT(r.executionTime.toMs(), 10.0);
+}
+
+TEST(PacketFlood, ServerSideOdpDoesNotFlood)
+{
+    // Sec. VI-C: the server is stateless (RNR NAK only), so no flood.
+    MicroBenchConfig config;
+    config.numOps = 128;
+    config.numQps = 128;
+    config.size = 32;
+    config.interval = Time::us(8);
+    config.odpMode = OdpMode::ServerSide;
+    config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
+    MicroBenchmark bench(config, rnic::DeviceProfile::knl(), 5);
+    auto r = bench.run();
+    ASSERT_TRUE(r.completedAll);
+    EXPECT_EQ(r.updateFailures, 0u);
+    EXPECT_EQ(r.responsesDiscardedStale, 0u);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of the pin-down registration cache and implicit ODP — the two
+ * memory-management alternatives framing the paper's motivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "regcache/registration_cache.hh"
+
+using namespace ibsim;
+using namespace ibsim::regcache;
+
+namespace {
+
+struct RegCacheFixture : public ::testing::Test
+{
+    Cluster cluster{rnic::DeviceProfile::connectX4(), 1, 3};
+    Node& node = cluster.node(0);
+
+    RegCacheConfig
+    smallConfig()
+    {
+        RegCacheConfig config;
+        config.capacityBytes = 8 * mem::pageSize;
+        config.deregisterBatch = 2;
+        return config;
+    }
+};
+
+} // namespace
+
+TEST_F(RegCacheFixture, MissRegistersHitReuses)
+{
+    RegistrationCache cache(node, cluster.events(), smallConfig());
+    const auto buf = node.alloc(4 * mem::pageSize);
+
+    auto& mr1 = cache.acquire(buf, 100);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().registrations, 1u);
+    EXPECT_GT(cache.stats().managementTime, Time());
+
+    // Same page: hit, same MR, no extra cost.
+    const Time before = cache.stats().managementTime;
+    auto& mr2 = cache.acquire(buf + 50, 20);
+    EXPECT_EQ(&mr1, &mr2);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().managementTime, before);
+}
+
+TEST_F(RegCacheFixture, RegistrationIsPageAlignedAndCovering)
+{
+    RegistrationCache cache(node, cluster.events(), smallConfig());
+    const auto buf = node.alloc(4 * mem::pageSize);
+    // A range straddling a page boundary registers both pages.
+    auto& mr = cache.acquire(buf + mem::pageSize - 10, 20);
+    EXPECT_EQ(mr.addr() % mem::pageSize, 0u);
+    EXPECT_GE(mr.length(), 2 * mem::pageSize);
+    EXPECT_TRUE(mr.contains(buf + mem::pageSize - 10, 20));
+}
+
+TEST_F(RegCacheFixture, LruEvictionBeyondCapacity)
+{
+    RegistrationCache cache(node, cluster.events(), smallConfig());
+    const auto buf = node.alloc(32 * mem::pageSize);
+
+    // Fill: 8 one-page regions = the 8-page budget.
+    for (int i = 0; i < 8; ++i)
+        cache.acquire(buf + i * mem::pageSize, 64);
+    EXPECT_EQ(cache.pinnedBytes(), 8 * mem::pageSize);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch region 0 so it is MRU, then overflow the budget.
+    cache.acquire(buf, 64);
+    cache.acquire(buf + 20 * mem::pageSize, 64);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.pinnedBytes(), 8 * mem::pageSize);
+
+    // The evicted victim must be the LRU (page 1), not the re-touched
+    // page 0: acquiring page 0 again is still a hit.
+    const auto hits = cache.stats().hits;
+    cache.acquire(buf, 64);
+    EXPECT_EQ(cache.stats().hits, hits + 1);
+    // Page 1 was evicted: re-acquiring it is a miss.
+    const auto misses = cache.stats().misses;
+    cache.acquire(buf + mem::pageSize, 64);
+    EXPECT_EQ(cache.stats().misses, misses + 1);
+}
+
+TEST_F(RegCacheFixture, BatchedDeregistrationAmortizes)
+{
+    auto config = smallConfig();
+    config.deregisterBatch = 4;
+    RegistrationCache cache(node, cluster.events(), config);
+    const auto buf = node.alloc(64 * mem::pageSize);
+
+    // Evict three regions: batch not full, nothing deregistered yet.
+    for (int i = 0; i < 11; ++i)
+        cache.acquire(buf + i * mem::pageSize, 64);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+    EXPECT_EQ(cache.stats().deregistrations, 0u);
+
+    // A fourth eviction fills the batch and flushes it.
+    cache.acquire(buf + 12 * mem::pageSize, 64);
+    EXPECT_EQ(cache.stats().deregistrations, 4u);
+}
+
+TEST_F(RegCacheFixture, FlushDeregistersEverything)
+{
+    RegistrationCache cache(node, cluster.events(), smallConfig());
+    const auto buf = node.alloc(8 * mem::pageSize);
+    for (int i = 0; i < 4; ++i)
+        cache.acquire(buf + i * mem::pageSize, 64);
+    cache.flush();
+    EXPECT_EQ(cache.cachedRegions(), 0u);
+    EXPECT_EQ(cache.pinnedBytes(), 0u);
+    EXPECT_EQ(cache.stats().deregistrations, 4u);
+}
+
+TEST_F(RegCacheFixture, UnboundedCapacityNeverEvicts)
+{
+    RegCacheConfig config;
+    config.capacityBytes = 0;
+    RegistrationCache cache(node, cluster.events(), config);
+    const auto buf = node.alloc(64 * mem::pageSize);
+    for (int i = 0; i < 64; ++i)
+        cache.acquire(buf + i * mem::pageSize, 64);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.cachedRegions(), 64u);
+}
+
+TEST(ImplicitOdp, CoversEveryAddressAndFaultsOnDemand)
+{
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 11);
+    Node& client = cluster.node(0);
+    Node& server = cluster.node(1);
+    auto& ccq = client.createCq();
+    auto& scq = server.createCq();
+    auto [cqp, sqp] = cluster.connectRc(client, ccq, server, scq);
+
+    // The server registers nothing per-buffer: one implicit region.
+    auto& imr = server.registerImplicitOdp();
+    EXPECT_TRUE(imr.odp());
+    EXPECT_TRUE(imr.implicit());
+    EXPECT_TRUE(imr.contains(0x123456, 1 << 20));
+
+    const auto dst = client.alloc(4096);
+    auto& cmr = client.registerMemory(dst, 4096,
+                                      verbs::AccessFlags::pinned());
+
+    // READ any freshly-allocated server buffer through the implicit key.
+    const auto src = server.alloc(4096);
+    server.memory().write(src, std::vector<std::uint8_t>(100, 0x3C));
+    cqp.postRead(dst, cmr.lkey(), src, imr.rkey(), 100, 1);
+    ASSERT_TRUE(cluster.runUntil(
+        [&] { return ccq.totalCompletions() == 1; }, Time::sec(2)));
+    EXPECT_TRUE(ccq.poll()[0].ok());
+    EXPECT_EQ(client.memory().read(dst, 100),
+              std::vector<std::uint8_t>(100, 0x3C));
+    EXPECT_EQ(server.driver().stats().faultsResolved, 1u);
+
+    // A second buffer faults independently -- still no registration call.
+    const auto src2 = server.alloc(4096);
+    server.memory().write(src2, std::vector<std::uint8_t>(100, 0x4D));
+    cqp.postRead(dst, cmr.lkey(), src2, imr.rkey(), 100, 2);
+    ASSERT_TRUE(cluster.runUntil(
+        [&] { return ccq.totalCompletions() == 2; }, Time::sec(2)));
+    EXPECT_EQ(server.driver().stats().faultsResolved, 2u);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and parameterized tests of the RNIC building blocks: Local ACK
+ * Timeout arithmetic (paper Sec. II-C), 24-bit PSN ring math, and the
+ * device profile catalog (Table I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rnic/device_profile.hh"
+#include "rnic/qp_context.hh"
+#include "rnic/timeout.hh"
+
+using namespace ibsim;
+using namespace ibsim::rnic;
+
+TEST(TimeoutMath, SpecFormula)
+{
+    // T_tr = 4.096 us * 2^C_ack.
+    EXPECT_EQ(timeoutInterval(1).toNs(), 8192);
+    EXPECT_DOUBLE_EQ(timeoutInterval(12).toMs(), 16.777216);
+    EXPECT_DOUBLE_EQ(timeoutInterval(16).toMs(), 268.435456);
+    EXPECT_NEAR(timeoutInterval(18).toSec(), 1.0737, 1e-3);
+    // 0 disables the timer.
+    EXPECT_EQ(timeoutInterval(0), Time::max());
+}
+
+/** Parameterized sweep: the formula holds for every encodable exponent. */
+class TimeoutIntervalSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TimeoutIntervalSweep, PowerOfTwoLaw)
+{
+    const int cack = GetParam();
+    const Time t = timeoutInterval(static_cast<std::uint8_t>(cack));
+    EXPECT_EQ(t.toNs(), 4096ll << cack);
+    if (cack > 1) {
+        const Time prev =
+            timeoutInterval(static_cast<std::uint8_t>(cack - 1));
+        EXPECT_EQ(t.toNs(), 2 * prev.toNs());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExponents, TimeoutIntervalSweep,
+                         ::testing::Range(1, 32));
+
+TEST(TimeoutMath, VendorClamping)
+{
+    EXPECT_EQ(effectiveCack(1, 16), 16);
+    EXPECT_EQ(effectiveCack(16, 16), 16);
+    EXPECT_EQ(effectiveCack(20, 16), 20);
+    EXPECT_EQ(effectiveCack(0, 16), 0);  // disabled stays disabled
+}
+
+TEST(TimeoutMath, DetectionTimeWithinSpecBand)
+{
+    // The spec requires T_tr <= T_o <= 4 T_tr.
+    for (const auto& profile : DeviceProfile::table1()) {
+        for (std::uint8_t cack = 1; cack <= 21; ++cack) {
+            const Time to = detectionTime(cack, profile);
+            const Time ttr =
+                timeoutInterval(effectiveCack(cack, profile.minCack));
+            EXPECT_GE(to, ttr);
+            EXPECT_LE(to, ttr * 4.0);
+        }
+    }
+}
+
+TEST(TimeoutMath, MeasuredFloorsFromThePaper)
+{
+    // Fig. 2: ~500 ms floor for ConnectX-3/4/6, ~30 ms for ConnectX-5.
+    EXPECT_NEAR(detectionTime(1, DeviceProfile::connectX4()).toMs(),
+                537.0, 10.0);
+    EXPECT_NEAR(detectionTime(1, DeviceProfile::connectX3()).toMs(),
+                537.0, 10.0);
+    EXPECT_NEAR(detectionTime(1, DeviceProfile::connectX6()).toMs(),
+                537.0, 10.0);
+    EXPECT_NEAR(detectionTime(1, DeviceProfile::connectX5()).toMs(),
+                33.6, 2.0);
+}
+
+TEST(PsnMath, NextWrapsAt24Bits)
+{
+    EXPECT_EQ(psnNext(0), 1u);
+    EXPECT_EQ(psnNext(0xfffffe), 0xffffffu);
+    EXPECT_EQ(psnNext(0xffffff), 0u);
+}
+
+TEST(PsnMath, DiffHandlesWraparound)
+{
+    EXPECT_EQ(psnDiff(5, 3), 2);
+    EXPECT_EQ(psnDiff(3, 5), -2);
+    EXPECT_EQ(psnDiff(0, 0xffffff), 1);   // just wrapped
+    EXPECT_EQ(psnDiff(0xffffff, 0), -1);
+    EXPECT_EQ(psnDiff(100, 100), 0);
+}
+
+/** Property sweep: diff/next are consistent across the ring. */
+class PsnRingSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(PsnRingSweep, DiffOfNeighborsIsOne)
+{
+    const std::uint32_t psn = GetParam();
+    EXPECT_EQ(psnDiff(psnNext(psn), psn), 1);
+    EXPECT_EQ(psnDiff(psn, psnNext(psn)), -1);
+    // Mid-range distances keep their sign.
+    const std::uint32_t far = (psn + 0x400000) & 0xffffff;
+    EXPECT_GT(psnDiff(far, psn), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingPoints, PsnRingSweep,
+                         ::testing::Values(0u, 1u, 100u, 0x7fffffu,
+                                           0x800000u, 0xfffffeu,
+                                           0xffffffu));
+
+TEST(DeviceCatalog, TableOneMatchesThePaper)
+{
+    const auto catalog = DeviceProfile::table1();
+    ASSERT_EQ(catalog.size(), 8u);
+
+    EXPECT_EQ(catalog[0].systemName, "Private servers A");
+    EXPECT_EQ(catalog[0].model, Model::ConnectX3);
+    EXPECT_EQ(catalog[0].psid, "MT_1100120019");
+
+    EXPECT_EQ(catalog[1].systemName, "Private servers B");
+    EXPECT_EQ(catalog[1].model, Model::ConnectX4);
+    EXPECT_EQ(catalog[1].firmwareVersion, "12.27.1016");
+
+    EXPECT_EQ(catalog[6].model, Model::ConnectX5);
+    EXPECT_EQ(catalog[6].minCack, 12);
+    EXPECT_EQ(catalog[7].model, Model::ConnectX6);
+    EXPECT_EQ(catalog[7].linkGbps, 200);
+
+    // The damming quirk vanished after ConnectX-4 (vendor feedback).
+    EXPECT_TRUE(catalog[1].dammingQuirk);
+    EXPECT_FALSE(catalog[6].dammingQuirk);
+    EXPECT_FALSE(catalog[7].dammingQuirk);
+
+    // Every profile keeps the flood quirk: it remains in the latest cards.
+    for (const auto& p : catalog)
+        EXPECT_TRUE(p.floodQuirk.enabled);
+}
+
+TEST(DeviceCatalog, KnlIsPrivateServersB)
+{
+    const auto knl = DeviceProfile::knl();
+    EXPECT_EQ(knl.systemName, "Private servers B");
+    EXPECT_EQ(knl.model, Model::ConnectX4);
+}
+
+TEST(DeviceCatalog, ModelNames)
+{
+    EXPECT_STREQ(modelName(Model::ConnectX3), "ConnectX-3");
+    EXPECT_STREQ(modelName(Model::ConnectX6), "ConnectX-6");
+}

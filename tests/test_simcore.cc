@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests of the simulation kernel: Time, EventQueue, Rng and the
+ * statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hh"
+#include "simcore/log.hh"
+#include "simcore/rng.hh"
+#include "simcore/stats.hh"
+#include "simcore/time.hh"
+
+using namespace ibsim;
+
+TEST(TimeTest, UnitConstructorsAgree)
+{
+    EXPECT_EQ(Time::us(1).toNs(), 1000);
+    EXPECT_EQ(Time::ms(1).toNs(), 1000000);
+    EXPECT_EQ(Time::sec(1).toNs(), 1000000000);
+    EXPECT_EQ(Time::ms(1.28).toNs(), 1280000);
+    EXPECT_DOUBLE_EQ(Time::ms(250).toSec(), 0.25);
+}
+
+TEST(TimeTest, ArithmeticAndComparisons)
+{
+    const Time a = Time::us(10);
+    const Time b = Time::us(4);
+    EXPECT_EQ((a + b).toNs(), 14000);
+    EXPECT_EQ((a - b).toNs(), 6000);
+    EXPECT_EQ((a * 2.5).toNs(), 25000);
+    EXPECT_EQ((a / 2.0).toNs(), 5000);
+    EXPECT_DOUBLE_EQ(a.ratio(b), 2.5);
+    EXPECT_LT(b, a);
+    EXPECT_GT(Time::max(), Time::sec(1e6));
+
+    Time c = a;
+    c += b;
+    EXPECT_EQ(c, Time::us(14));
+    c -= a;
+    EXPECT_EQ(c, b);
+}
+
+TEST(TimeTest, StringPicksReadableUnit)
+{
+    EXPECT_EQ(Time::ns(12).str(), "12 ns");
+    EXPECT_NE(Time::us(3.5).str().find("us"), std::string::npos);
+    EXPECT_NE(Time::ms(7).str().find("ms"), std::string::npos);
+    EXPECT_NE(Time::sec(2).str().find("s"), std::string::npos);
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(Time::us(3), [&] { order.push_back(3); });
+    q.schedule(Time::us(1), [&] { order.push_back(1); });
+    q.schedule(Time::us(2), [&] { order.push_back(2); });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), Time::us(3));
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, SameTimeIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(Time::us(5), [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    auto h = q.schedule(Time::us(1), [&] { ++fired; });
+    q.schedule(Time::us(2), [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));  // double cancel is a no-op
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelFromInsideAnEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle later;
+    q.schedule(Time::us(1), [&] { q.cancel(later); });
+    later = q.schedule(Time::us(2), [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, RunHonorsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Time::us(1), [&] { ++fired; });
+    q.schedule(Time::ms(1), [&] { ++fired; });
+    EXPECT_FALSE(q.run(Time::us(10)));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), Time::us(10));
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, AdvanceLandsExactlyOnTarget)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Time::us(7), [&] { ++fired; });
+    q.advance(Time::us(3));
+    EXPECT_EQ(q.now(), Time::us(3));
+    EXPECT_EQ(fired, 0);
+    q.advance(Time::us(10));
+    EXPECT_EQ(q.now(), Time::us(13));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtPredicate)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        q.schedule(Time::us(i), [&] { ++count; });
+    EXPECT_TRUE(q.runUntil([&] { return count == 4; }));
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(q.now(), Time::us(4));
+    // Predicate never satisfied: drains and reports failure.
+    EXPECT_FALSE(q.runUntil([&] { return count == 99; }));
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recur = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(Time::us(1), recur);
+    };
+    q.scheduleAfter(Time::us(1), recur);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), Time::us(5));
+}
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    Rng a(5);
+    const double first = a.uniform(0, 1);
+    a.uniform(0, 1);
+    a.reseed(5);
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), first);
+}
+
+TEST(RngTest, RangesRespected)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+        const auto n = rng.uniformInt(-3, 3);
+        EXPECT_GE(n, -3);
+        EXPECT_LE(n, 3);
+        const Time t = rng.uniformTime(Time::us(250), Time::us(1000));
+        EXPECT_GE(t, Time::us(250));
+        EXPECT_LT(t, Time::us(1000));
+    }
+}
+
+TEST(RngTest, JitterStaysWithinSpread)
+{
+    Rng rng(1);
+    const Time base = Time::ms(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Time t = rng.jitter(base, 0.1);
+        EXPECT_GE(t.toNs(), 900000);
+        EXPECT_LE(t.toNs(), 1100000);
+    }
+}
+
+TEST(RngTest, DegenerateTimeRange)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.uniformTime(Time::us(5), Time::us(5)), Time::us(5));
+    EXPECT_EQ(rng.uniformTime(Time::us(5), Time::us(3)), Time::us(5));
+}
+
+TEST(AccumulatorTest, SummaryStatistics)
+{
+    Accumulator acc;
+    EXPECT_TRUE(acc.empty());
+    for (double v : {4.0, 1.0, 3.0, 2.0, 5.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 5u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.median(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+    EXPECT_NEAR(acc.stddev(), 1.5811, 1e-3);
+    EXPECT_DOUBLE_EQ(acc.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(100), 5.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(50), 3.0);
+}
+
+TEST(AccumulatorTest, AddAfterSortKeepsCorrectness)
+{
+    Accumulator acc;
+    acc.add(10.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 10.0);  // forces a sort
+    acc.add(1.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bucket 0
+    h.add(9.9);   // bucket 4
+    h.add(-3.0);  // clamped to 0
+    h.add(42.0);  // clamped to 4
+    h.add(5.0);   // bucket 2
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(1), 4.0);
+    EXPECT_FALSE(h.str().empty());
+}
+
+TEST(LogTest, EnableDisable)
+{
+    EXPECT_FALSE(log::enabled("xyzzy"));
+    log::enable("xyzzy");
+    EXPECT_TRUE(log::enabled("xyzzy"));
+    log::disableAll();
+    EXPECT_FALSE(log::enabled("xyzzy"));
+    log::enable("*");
+    EXPECT_TRUE(log::enabled("anything"));
+    log::disableAll();
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests of the ucxlite tag-matching layer: eager/rendezvous protocols,
+ * unexpected-message queuing, the ODP-vs-regcache memory domain, and the
+ * pitfalls arising through the middleware exactly the way the paper met
+ * them (Sec. IX-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ucxlite/ucx_lite.hh"
+
+using namespace ibsim;
+using namespace ibsim::ucxlite;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 13);
+    return v;
+}
+
+struct UcxFixture : public ::testing::Test
+{
+    Cluster cluster{rnic::DeviceProfile::knl(), 2, 37};
+    std::unique_ptr<UcxWorker> wa;
+    std::unique_ptr<UcxWorker> wb;
+    UcxEndpoint* ab = nullptr;
+
+    void
+    init(UcxConfig config = {})
+    {
+        wa = std::make_unique<UcxWorker>(cluster, cluster.node(0),
+                                         config);
+        wb = std::make_unique<UcxWorker>(cluster, cluster.node(1),
+                                         config);
+        ab = &wa->connectTo(*wb);
+    }
+
+    bool
+    wait(const std::function<bool()>& pred, Time limit = Time::sec(10))
+    {
+        return cluster.runUntil(pred, cluster.now() + limit);
+    }
+};
+
+} // namespace
+
+TEST_F(UcxFixture, EagerSmallMessage)
+{
+    init();
+    const auto data = pattern(200);
+    const auto src = wa->node().alloc(4096);
+    const auto dst = wb->node().alloc(4096);
+    wa->node().memory().write(src, data);
+
+    const auto rreq = wb->tagRecv(/*tag=*/7, dst, 4096);
+    const auto sreq = ab->tagSend(7, src, 200);
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(sreq) && wb->completed(rreq);
+    }));
+    EXPECT_EQ(wb->receivedBytes(rreq), 200u);
+    EXPECT_EQ(wb->node().memory().read(dst, 200), data);
+    EXPECT_EQ(wa->stats().eagerSends, 1u);
+    EXPECT_EQ(wa->stats().rendezvousSends, 0u);
+}
+
+TEST_F(UcxFixture, RendezvousLargeMessage)
+{
+    init();
+    const auto data = pattern(32000, 5);
+    const auto src = wa->node().alloc(32768);
+    const auto dst = wb->node().alloc(32768);
+    wa->node().memory().write(src, data);
+
+    const auto rreq = wb->tagRecv(9, dst, 32768);
+    const auto sreq = ab->tagSend(9, src, 32000);
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(sreq) && wb->completed(rreq);
+    }));
+    EXPECT_EQ(wb->node().memory().read(dst, 32000), data);
+    EXPECT_EQ(wa->stats().rendezvousSends, 1u);
+    EXPECT_EQ(wb->stats().rendezvousReads, 1u);
+    // Under the ODP domain the pull faulted on-demand on both ends.
+    EXPECT_GT(wa->node().driver().stats().faultsResolved +
+                  wb->node().driver().stats().faultsResolved,
+              0u);
+}
+
+TEST_F(UcxFixture, UnexpectedMessagesMatchLater)
+{
+    init();
+    const auto src = wa->node().alloc(4096);
+    const auto dst = wb->node().alloc(4096);
+    wa->node().memory().write(src, pattern(64));
+
+    // Send before the receive is posted.
+    const auto sreq = ab->tagSend(3, src, 64);
+    ASSERT_TRUE(wait([&] { return wa->completed(sreq); }));
+    EXPECT_EQ(wb->stats().unexpectedMessages, 1u);
+
+    const auto rreq = wb->tagRecv(3, dst, 4096);
+    ASSERT_TRUE(wait([&] { return wb->completed(rreq); }));
+    EXPECT_EQ(wb->node().memory().read(dst, 64), pattern(64));
+}
+
+TEST_F(UcxFixture, TagsAreMatchedIndependently)
+{
+    init();
+    const auto src = wa->node().alloc(8192);
+    const auto dst = wb->node().alloc(8192);
+    wa->node().memory().write(src, pattern(64, 1));
+    wa->node().memory().write(src + 4096, pattern(64, 2));
+
+    const auto r2 = wb->tagRecv(2, dst, 4096);
+    const auto r1 = wb->tagRecv(1, dst + 4096, 4096);
+    const auto s1 = ab->tagSend(1, src, 64);
+    const auto s2 = ab->tagSend(2, src + 4096, 64);
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(s1) && wa->completed(s2) &&
+               wb->completed(r1) && wb->completed(r2);
+    }));
+    // Tag 1 landed in tag-1's buffer, tag 2 in tag-2's.
+    EXPECT_EQ(wb->node().memory().read(dst + 4096, 64), pattern(64, 1));
+    EXPECT_EQ(wb->node().memory().read(dst, 64), pattern(64, 2));
+}
+
+TEST_F(UcxFixture, RegcacheDomainPinsInsteadOfFaulting)
+{
+    UcxConfig config;
+    config.useOdp = false;  // conventional registration
+    init(config);
+    const auto data = pattern(32000, 9);
+    const auto src = wa->node().alloc(32768);
+    const auto dst = wb->node().alloc(32768);
+    wa->node().memory().write(src, data);
+
+    const auto rreq = wb->tagRecv(4, dst, 32768);
+    const auto sreq = ab->tagSend(4, src, 32000);
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(sreq) && wb->completed(rreq);
+    }));
+    EXPECT_EQ(wb->node().memory().read(dst, 32000), data);
+    // No ODP faults anywhere: the domain pinned via the cache.
+    EXPECT_EQ(wa->node().driver().stats().faultsResolved, 0u);
+    EXPECT_EQ(wb->node().driver().stats().faultsResolved, 0u);
+}
+
+TEST_F(UcxFixture, BidirectionalTraffic)
+{
+    init();
+    auto& ba = wb->connectTo(*wa);
+    const auto abuf = wa->node().alloc(4096);
+    const auto bbuf = wb->node().alloc(4096);
+    wa->node().memory().write(abuf, pattern(32, 3));
+    wb->node().memory().write(bbuf, pattern(32, 4));
+
+    const auto ra = wa->tagRecv(1, abuf + 2048, 2048);
+    const auto rb = wb->tagRecv(1, bbuf + 2048, 2048);
+    const auto sa = ab->tagSend(1, abuf, 32);
+    const auto sb = ba.tagSend(1, bbuf, 32);
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(sa) && wb->completed(sb) &&
+               wa->completed(ra) && wb->completed(rb);
+    }));
+    EXPECT_EQ(wa->node().memory().read(abuf + 2048, 32), pattern(32, 4));
+    EXPECT_EQ(wb->node().memory().read(bbuf + 2048, 32), pattern(32, 3));
+}
+
+TEST_F(UcxFixture, RendezvousFinTrafficRescuesBackToBackPulls)
+{
+    // Two rendezvous pulls on one connection under the ODP domain: the
+    // first READ faults, the second is posted inside the pending period
+    // and gets dammed -- but the middleware's own FIN for the first pull
+    // provokes the PSN-sequence-error NAK and rescues it. Tag-matched
+    // traffic is accidentally damming-resistant; the one-sided RMA path
+    // below is not.
+    init();
+    const auto src = wa->node().alloc(65536);
+    const auto dst = wb->node().alloc(65536);
+    wa->node().memory().write(src, pattern(8192, 7));
+    wa->node().memory().write(src + 32768, pattern(8192, 8));
+
+    const auto r1 = wb->tagRecv(11, dst, 8192);
+    const auto r2 = wb->tagRecv(12, dst + 32768, 8192);
+    const auto s1 = ab->tagSend(11, src, 8192);
+    cluster.advance(Time::ms(1));  // inside the RNR pending window
+    const auto s2 = ab->tagSend(12, src + 32768, 8192);
+
+    const Time start = cluster.now();
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(s1) && wa->completed(s2) &&
+               wb->completed(r1) && wb->completed(r2);
+    }, Time::sec(30)));
+    const double elapsed_s = (cluster.now() - start).toSec();
+
+    EXPECT_EQ(wb->node().memory().read(dst, 8192), pattern(8192, 7));
+    EXPECT_EQ(wb->node().memory().read(dst + 32768, 8192),
+              pattern(8192, 8));
+    EXPECT_LT(elapsed_s, 0.1);  // FIN-rescued: no transport timeout
+}
+
+TEST_F(UcxFixture, DammingStrikesThroughOneSidedRma)
+{
+    // The paper's Sec. VII-A trap end-to-end: ArgoDSM-style one-sided
+    // RMA -- a direct get (READ) followed shortly by an eager SEND on
+    // the same connection, under the ODP domain. The get faults; the
+    // SEND posted inside the pending window is dammed; no later traffic
+    // follows, so only the ~2.1 s transport timeout (C_ack 18) recovers
+    // it. No error surfaces anywhere in the middleware.
+    init();
+    const auto lock = wa->node().alloc(4096);   // remote "lock word"
+    const auto dst = wb->node().alloc(8192);
+    const auto msg = wb->node().alloc(4096);
+    wb->node().memory().write(msg, pattern(64, 2));
+    wa->node().memory().write(lock, pattern(8, 1));
+
+    auto& ba = wb->connectTo(*wa);
+    const RemoteMemory rmem = wa->expose(lock, 4096);
+    const auto rr = wa->tagRecv(5, lock + 2048, 2048);
+
+    const auto get_req = ba.get(dst, rmem, 8);      // lock READ (faults)
+    cluster.advance(Time::ms(1));                   // inside the window
+    const auto send_req = ba.tagSend(5, msg, 64);   // lock-release SEND
+
+    const Time start = cluster.now();
+    ASSERT_TRUE(wait([&] {
+        return wb->completed(get_req) && wb->completed(send_req) &&
+               wa->completed(rr);
+    }, Time::sec(30)));
+    const double elapsed_s = (cluster.now() - start).toSec();
+
+    // Data intact; the pitfall is pure latency.
+    EXPECT_EQ(wb->node().memory().read(dst, 8), pattern(8, 1));
+    EXPECT_EQ(wa->node().memory().read(lock + 2048, 64), pattern(64, 2));
+    EXPECT_GT(elapsed_s, 1.5);  // one C_ack=18 transport timeout
+}
+
+TEST_F(UcxFixture, OneSidedPutRoundTrip)
+{
+    init();
+    const auto src = wb->node().alloc(4096);
+    const auto dst = wa->node().alloc(4096);
+    wb->node().memory().write(src, pattern(256, 6));
+
+    auto& ba = wb->connectTo(*wa);
+    const RemoteMemory rmem = wa->expose(dst, 4096);
+    const auto req = ba.put(src, rmem, 256);
+    ASSERT_TRUE(wait([&] { return wb->completed(req); }));
+    EXPECT_EQ(wa->node().memory().read(dst, 256), pattern(256, 6));
+}
+
+TEST_F(UcxFixture, PinnedDomainAvoidsTheSameDamming)
+{
+    UcxConfig config;
+    config.useOdp = false;
+    init(config);
+    const auto src = wa->node().alloc(65536);
+    const auto dst = wb->node().alloc(65536);
+    wa->node().memory().write(src, pattern(8192, 7));
+    wa->node().memory().write(src + 32768, pattern(8192, 8));
+
+    const auto r1 = wb->tagRecv(11, dst, 8192);
+    const auto r2 = wb->tagRecv(12, dst + 32768, 8192);
+    const auto s1 = ab->tagSend(11, src, 8192);
+    cluster.advance(Time::ms(1));
+    const auto s2 = ab->tagSend(12, src + 32768, 8192);
+
+    const Time start = cluster.now();
+    ASSERT_TRUE(wait([&] {
+        return wa->completed(s1) && wa->completed(s2) &&
+               wb->completed(r1) && wb->completed(r2);
+    }));
+    EXPECT_LT((cluster.now() - start).toMs(), 50.0);
+}

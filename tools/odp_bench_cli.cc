@@ -1,0 +1,201 @@
+/**
+ * @file
+ * odp_bench_cli — the paper's micro-benchmark (Fig. 3) as a command-line
+ * tool, for exploring the pitfall parameter space beyond the canned
+ * benches.
+ *
+ * Usage:
+ *   odp_bench_cli [--ops N] [--qps N] [--size BYTES] [--interval-us U]
+ *                 [--mode none|server|client|both] [--device cx3|cx4|cx5|cx6]
+ *                 [--cack N] [--rnr-ms F] [--trials N] [--seed N]
+ *                 [--trace] [--detect]
+ *
+ * Examples:
+ *   # The Fig. 5 damming case, with the packet trace:
+ *   odp_bench_cli --ops 2 --interval-us 1000 --mode both --trace
+ *
+ *   # A flood: 128 QPs, one op each, 32-byte messages:
+ *   odp_bench_cli --ops 128 --qps 128 --size 32 --interval-us 8 \
+ *                 --mode client --cack 18 --detect
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "capture/trace_format.hh"
+#include "pitfall/detectors.hh"
+#include "pitfall/microbench.hh"
+#include "simcore/stats.hh"
+
+using namespace ibsim;
+using namespace ibsim::pitfall;
+
+namespace {
+
+struct CliOptions
+{
+    MicroBenchConfig config;
+    rnic::DeviceProfile profile = rnic::DeviceProfile::knl();
+    std::string device = "cx4";
+    std::size_t trials = 1;
+    std::uint64_t seed = 1;
+    bool trace = false;
+    bool detect = false;
+};
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--ops N] [--qps N] [--size BYTES] [--interval-us U]\n"
+        "          [--mode none|server|client|both] [--device "
+        "cx3|cx4|cx5|cx6]\n"
+        "          [--cack N] [--rnr-ms F] [--trials N] [--seed N]\n"
+        "          [--trace] [--detect]\n",
+        argv0);
+}
+
+bool
+parse(int argc, char** argv, CliOptions& opts)
+{
+    opts.config.numOps = 2;
+    opts.config.interval = Time::ms(1);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--ops") {
+            opts.config.numOps = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--qps") {
+            opts.config.numQps = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--size") {
+            opts.config.size =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr,
+                                                        10));
+        } else if (arg == "--interval-us") {
+            opts.config.interval = Time::us(std::strtod(next(), nullptr));
+        } else if (arg == "--mode") {
+            const std::string mode = next();
+            if (mode == "none")
+                opts.config.odpMode = OdpMode::None;
+            else if (mode == "server")
+                opts.config.odpMode = OdpMode::ServerSide;
+            else if (mode == "client")
+                opts.config.odpMode = OdpMode::ClientSide;
+            else if (mode == "both")
+                opts.config.odpMode = OdpMode::BothSide;
+            else
+                return false;
+        } else if (arg == "--device") {
+            opts.device = next();
+            if (opts.device == "cx3")
+                opts.profile = rnic::DeviceProfile::connectX3();
+            else if (opts.device == "cx4")
+                opts.profile = rnic::DeviceProfile::knl();
+            else if (opts.device == "cx5")
+                opts.profile = rnic::DeviceProfile::connectX5();
+            else if (opts.device == "cx6")
+                opts.profile = rnic::DeviceProfile::connectX6();
+            else
+                return false;
+        } else if (arg == "--cack") {
+            opts.config.qpConfig.cack = static_cast<std::uint8_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--rnr-ms") {
+            opts.config.qpConfig.minRnrNakDelay =
+                Time::ms(std::strtod(next(), nullptr));
+        } else if (arg == "--trials") {
+            opts.trials = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--trace") {
+            opts.trace = true;
+        } else if (arg == "--detect") {
+            opts.detect = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions opts;
+    if (!parse(argc, argv, opts)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::printf("device=%s (%s)  ops=%zu  qps=%zu  size=%u B  "
+                "interval=%s  mode=%s  cack=%u  rnr=%s\n\n",
+                opts.device.c_str(),
+                rnic::modelName(opts.profile.model), opts.config.numOps,
+                opts.config.numQps, opts.config.size,
+                opts.config.interval.str().c_str(),
+                odpModeName(opts.config.odpMode),
+                opts.config.qpConfig.cack,
+                opts.config.qpConfig.minRnrNakDelay.str().c_str());
+
+    Accumulator exec;
+    std::uint64_t timeouts = 0;
+    for (std::size_t t = 0; t < opts.trials; ++t) {
+        MicroBenchmark bench(opts.config, opts.profile, opts.seed + t);
+        auto r = bench.run();
+        exec.add(r.executionTime.toSec());
+        timeouts += r.timeouts;
+
+        std::printf("trial %zu: exec=%s  completed=%s  timeouts=%llu  "
+                    "rexmits=%llu  rnr=%llu  seq_naks=%llu  "
+                    "upd_failures=%llu  packets=%llu\n",
+                    t, r.executionTime.str().c_str(),
+                    r.completedAll ? "yes" : "NO",
+                    static_cast<unsigned long long>(r.timeouts),
+                    static_cast<unsigned long long>(r.retransmissions),
+                    static_cast<unsigned long long>(r.rnrNaksReceived),
+                    static_cast<unsigned long long>(r.seqNaksReceived),
+                    static_cast<unsigned long long>(r.updateFailures),
+                    static_cast<unsigned long long>(r.totalPackets));
+
+        if (opts.trace && bench.packetCapture()) {
+            std::printf("\n%s\n",
+                        capture::formatWorkflow(*bench.packetCapture(),
+                                                bench.client().lid())
+                            .c_str());
+        }
+        if (opts.detect && bench.packetCapture()) {
+            std::printf("%s",
+                        formatReport(
+                            detectDamming(*bench.packetCapture()))
+                            .c_str());
+            std::printf("%s\n",
+                        formatReport(detectFlood(*bench.packetCapture()))
+                            .c_str());
+        }
+    }
+
+    if (opts.trials > 1) {
+        std::printf("\n%zu trials: avg %.4f s (min %.4f, max %.4f), "
+                    "%llu total timeouts\n",
+                    opts.trials, exec.mean(), exec.min(), exec.max(),
+                    static_cast<unsigned long long>(timeouts));
+    }
+    return 0;
+}
