@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_odp_latency.dir/bench_ablation_odp_latency.cc.o"
+  "CMakeFiles/bench_ablation_odp_latency.dir/bench_ablation_odp_latency.cc.o.d"
+  "bench_ablation_odp_latency"
+  "bench_ablation_odp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_odp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

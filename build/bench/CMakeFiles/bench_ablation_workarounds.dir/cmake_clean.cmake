@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workarounds.dir/bench_ablation_workarounds.cc.o"
+  "CMakeFiles/bench_ablation_workarounds.dir/bench_ablation_workarounds.cc.o.d"
+  "bench_ablation_workarounds"
+  "bench_ablation_workarounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workarounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_argodsm.dir/bench_fig12_argodsm.cc.o"
+  "CMakeFiles/bench_fig12_argodsm.dir/bench_fig12_argodsm.cc.o.d"
+  "bench_fig12_argodsm"
+  "bench_fig12_argodsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_argodsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sparkucx.dir/bench_fig13_sparkucx.cc.o"
+  "CMakeFiles/bench_fig13_sparkucx.dir/bench_fig13_sparkucx.cc.o.d"
+  "bench_fig13_sparkucx"
+  "bench_fig13_sparkucx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sparkucx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_timeout.dir/bench_fig2_timeout.cc.o"
+  "CMakeFiles/bench_fig2_timeout.dir/bench_fig2_timeout.cc.o.d"
+  "bench_fig2_timeout"
+  "bench_fig2_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_damming_workflow.dir/bench_fig5_damming_workflow.cc.o"
+  "CMakeFiles/bench_fig5_damming_workflow.dir/bench_fig5_damming_workflow.cc.o.d"
+  "bench_fig5_damming_workflow"
+  "bench_fig5_damming_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_damming_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_damming_probability.dir/bench_fig6_damming_probability.cc.o"
+  "CMakeFiles/bench_fig6_damming_probability.dir/bench_fig6_damming_probability.cc.o.d"
+  "bench_fig6_damming_probability"
+  "bench_fig6_damming_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_damming_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_flood.dir/bench_fig9_flood.cc.o"
+  "CMakeFiles/bench_fig9_flood.dir/bench_fig9_flood.cc.o.d"
+  "bench_fig9_flood"
+  "bench_fig9_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

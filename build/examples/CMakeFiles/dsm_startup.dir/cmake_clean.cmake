@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_startup.dir/dsm_startup.cpp.o"
+  "CMakeFiles/dsm_startup.dir/dsm_startup.cpp.o.d"
+  "dsm_startup"
+  "dsm_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

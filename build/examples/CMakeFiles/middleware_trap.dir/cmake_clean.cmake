@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_trap.dir/middleware_trap.cpp.o"
+  "CMakeFiles/middleware_trap.dir/middleware_trap.cpp.o.d"
+  "middleware_trap"
+  "middleware_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

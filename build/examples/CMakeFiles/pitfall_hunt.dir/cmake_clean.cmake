@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfall_hunt.dir/pitfall_hunt.cpp.o"
+  "CMakeFiles/pitfall_hunt.dir/pitfall_hunt.cpp.o.d"
+  "pitfall_hunt"
+  "pitfall_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfall_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_messaging.dir/reliable_messaging.cpp.o"
+  "CMakeFiles/reliable_messaging.dir/reliable_messaging.cpp.o.d"
+  "reliable_messaging"
+  "reliable_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_odp.dir/shuffle_odp.cpp.o"
+  "CMakeFiles/shuffle_odp.dir/shuffle_odp.cpp.o.d"
+  "shuffle_odp"
+  "shuffle_odp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_odp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/mini_dsm.cc" "src/CMakeFiles/ibsim.dir/apps/mini_dsm.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/apps/mini_dsm.cc.o.d"
+  "/root/repo/src/apps/mini_shuffle.cc" "src/CMakeFiles/ibsim.dir/apps/mini_shuffle.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/apps/mini_shuffle.cc.o.d"
+  "/root/repo/src/capture/analysis.cc" "src/CMakeFiles/ibsim.dir/capture/analysis.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/capture/analysis.cc.o.d"
+  "/root/repo/src/capture/capture.cc" "src/CMakeFiles/ibsim.dir/capture/capture.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/capture/capture.cc.o.d"
+  "/root/repo/src/capture/trace_format.cc" "src/CMakeFiles/ibsim.dir/capture/trace_format.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/capture/trace_format.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/ibsim.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/CMakeFiles/ibsim.dir/cluster/node.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/cluster/node.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/ibsim.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/ibsim.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/loss.cc" "src/CMakeFiles/ibsim.dir/net/loss.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/net/loss.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/ibsim.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/net/packet.cc.o.d"
+  "/root/repo/src/odp/odp_driver.cc" "src/CMakeFiles/ibsim.dir/odp/odp_driver.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/odp/odp_driver.cc.o.d"
+  "/root/repo/src/odp/page_status_board.cc" "src/CMakeFiles/ibsim.dir/odp/page_status_board.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/odp/page_status_board.cc.o.d"
+  "/root/repo/src/odp/translation_table.cc" "src/CMakeFiles/ibsim.dir/odp/translation_table.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/odp/translation_table.cc.o.d"
+  "/root/repo/src/pitfall/detectors.cc" "src/CMakeFiles/ibsim.dir/pitfall/detectors.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/pitfall/detectors.cc.o.d"
+  "/root/repo/src/pitfall/experiment.cc" "src/CMakeFiles/ibsim.dir/pitfall/experiment.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/pitfall/experiment.cc.o.d"
+  "/root/repo/src/pitfall/microbench.cc" "src/CMakeFiles/ibsim.dir/pitfall/microbench.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/pitfall/microbench.cc.o.d"
+  "/root/repo/src/pitfall/timeout_probe.cc" "src/CMakeFiles/ibsim.dir/pitfall/timeout_probe.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/pitfall/timeout_probe.cc.o.d"
+  "/root/repo/src/pitfall/workarounds.cc" "src/CMakeFiles/ibsim.dir/pitfall/workarounds.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/pitfall/workarounds.cc.o.d"
+  "/root/repo/src/regcache/registration_cache.cc" "src/CMakeFiles/ibsim.dir/regcache/registration_cache.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/regcache/registration_cache.cc.o.d"
+  "/root/repo/src/rnic/device_profile.cc" "src/CMakeFiles/ibsim.dir/rnic/device_profile.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rnic/device_profile.cc.o.d"
+  "/root/repo/src/rnic/qp_context.cc" "src/CMakeFiles/ibsim.dir/rnic/qp_context.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rnic/qp_context.cc.o.d"
+  "/root/repo/src/rnic/rc_requester.cc" "src/CMakeFiles/ibsim.dir/rnic/rc_requester.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rnic/rc_requester.cc.o.d"
+  "/root/repo/src/rnic/rc_responder.cc" "src/CMakeFiles/ibsim.dir/rnic/rc_responder.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rnic/rc_responder.cc.o.d"
+  "/root/repo/src/rnic/rnic.cc" "src/CMakeFiles/ibsim.dir/rnic/rnic.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rnic/rnic.cc.o.d"
+  "/root/repo/src/rnic/timeout.cc" "src/CMakeFiles/ibsim.dir/rnic/timeout.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rnic/timeout.cc.o.d"
+  "/root/repo/src/rpc/rpc.cc" "src/CMakeFiles/ibsim.dir/rpc/rpc.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/rpc/rpc.cc.o.d"
+  "/root/repo/src/simcore/event_queue.cc" "src/CMakeFiles/ibsim.dir/simcore/event_queue.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/simcore/event_queue.cc.o.d"
+  "/root/repo/src/simcore/log.cc" "src/CMakeFiles/ibsim.dir/simcore/log.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/simcore/log.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "src/CMakeFiles/ibsim.dir/simcore/rng.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/simcore/rng.cc.o.d"
+  "/root/repo/src/simcore/stats.cc" "src/CMakeFiles/ibsim.dir/simcore/stats.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/simcore/stats.cc.o.d"
+  "/root/repo/src/simcore/time.cc" "src/CMakeFiles/ibsim.dir/simcore/time.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/simcore/time.cc.o.d"
+  "/root/repo/src/swrel/soft_reliable.cc" "src/CMakeFiles/ibsim.dir/swrel/soft_reliable.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/swrel/soft_reliable.cc.o.d"
+  "/root/repo/src/ucxlite/ucx_lite.cc" "src/CMakeFiles/ibsim.dir/ucxlite/ucx_lite.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/ucxlite/ucx_lite.cc.o.d"
+  "/root/repo/src/verbs/completion_queue.cc" "src/CMakeFiles/ibsim.dir/verbs/completion_queue.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/verbs/completion_queue.cc.o.d"
+  "/root/repo/src/verbs/memory_region.cc" "src/CMakeFiles/ibsim.dir/verbs/memory_region.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/verbs/memory_region.cc.o.d"
+  "/root/repo/src/verbs/queue_pair.cc" "src/CMakeFiles/ibsim.dir/verbs/queue_pair.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/verbs/queue_pair.cc.o.d"
+  "/root/repo/src/verbs/types.cc" "src/CMakeFiles/ibsim.dir/verbs/types.cc.o" "gcc" "src/CMakeFiles/ibsim.dir/verbs/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_api.dir/test_cluster_api.cc.o"
+  "CMakeFiles/test_cluster_api.dir/test_cluster_api.cc.o.d"
+  "test_cluster_api"
+  "test_cluster_api.pdb"
+  "test_cluster_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_large_messages.dir/test_large_messages.cc.o"
+  "CMakeFiles/test_large_messages.dir/test_large_messages.cc.o.d"
+  "test_large_messages"
+  "test_large_messages.pdb"
+  "test_large_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_large_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_odp.dir/test_mem_odp.cc.o"
+  "CMakeFiles/test_mem_odp.dir/test_mem_odp.cc.o.d"
+  "test_mem_odp"
+  "test_mem_odp.pdb"
+  "test_mem_odp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_odp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pitfalls.dir/test_pitfalls.cc.o"
+  "CMakeFiles/test_pitfalls.dir/test_pitfalls.cc.o.d"
+  "test_pitfalls"
+  "test_pitfalls.pdb"
+  "test_pitfalls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

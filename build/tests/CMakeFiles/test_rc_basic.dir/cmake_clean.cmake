@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_basic.dir/test_rc_basic.cc.o"
+  "CMakeFiles/test_rc_basic.dir/test_rc_basic.cc.o.d"
+  "test_rc_basic"
+  "test_rc_basic.pdb"
+  "test_rc_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rd_atomic_window.dir/test_rd_atomic_window.cc.o"
+  "CMakeFiles/test_rd_atomic_window.dir/test_rd_atomic_window.cc.o.d"
+  "test_rd_atomic_window"
+  "test_rd_atomic_window.pdb"
+  "test_rd_atomic_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rd_atomic_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rd_atomic_window.
+# This may be replaced when dependencies are built.

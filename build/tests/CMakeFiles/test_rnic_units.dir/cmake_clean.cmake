@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rnic_units.dir/test_rnic_units.cc.o"
+  "CMakeFiles/test_rnic_units.dir/test_rnic_units.cc.o.d"
+  "test_rnic_units"
+  "test_rnic_units.pdb"
+  "test_rnic_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rnic_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucxlite.dir/test_ucxlite.cc.o"
+  "CMakeFiles/test_ucxlite.dir/test_ucxlite.cc.o.d"
+  "test_ucxlite"
+  "test_ucxlite.pdb"
+  "test_ucxlite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucxlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ud_rpc.dir/test_ud_rpc.cc.o"
+  "CMakeFiles/test_ud_rpc.dir/test_ud_rpc.cc.o.d"
+  "test_ud_rpc"
+  "test_ud_rpc.pdb"
+  "test_ud_rpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ud_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

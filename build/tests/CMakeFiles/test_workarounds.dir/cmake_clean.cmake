@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workarounds.dir/test_workarounds.cc.o"
+  "CMakeFiles/test_workarounds.dir/test_workarounds.cc.o.d"
+  "test_workarounds"
+  "test_workarounds.pdb"
+  "test_workarounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workarounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

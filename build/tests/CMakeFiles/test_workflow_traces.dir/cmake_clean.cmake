@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_traces.dir/test_workflow_traces.cc.o"
+  "CMakeFiles/test_workflow_traces.dir/test_workflow_traces.cc.o.d"
+  "test_workflow_traces"
+  "test_workflow_traces.pdb"
+  "test_workflow_traces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

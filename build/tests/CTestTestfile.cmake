@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rc_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_pitfalls[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_simcore[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_odp[1]_include.cmake")
+include("/root/repo/build/tests/test_rnic_units[1]_include.cmake")
+include("/root/repo/build/tests/test_capture_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_verbs[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_regcache[1]_include.cmake")
+include("/root/repo/build/tests/test_atomics[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_workarounds[1]_include.cmake")
+include("/root/repo/build/tests/test_large_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_ucxlite[1]_include.cmake")
+include("/root/repo/build/tests/test_ud_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_multinode[1]_include.cmake")
+include("/root/repo/build/tests/test_rd_atomic_window[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_api[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow_traces[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")

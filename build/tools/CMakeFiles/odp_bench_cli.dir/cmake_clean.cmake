@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odp_bench_cli.dir/odp_bench_cli.cc.o"
+  "CMakeFiles/odp_bench_cli.dir/odp_bench_cli.cc.o.d"
+  "odp_bench_cli"
+  "odp_bench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odp_bench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for odp_bench_cli.
+# This may be replaced when dependencies are built.
