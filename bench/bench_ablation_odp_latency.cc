@@ -9,14 +9,14 @@
  * third column — Li et al. found it recovers most of the gap.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
 
 #include "cluster/cluster.hh"
-#include "pitfall/experiment.hh"
 
 using namespace ibsim;
-using ibsim::pitfall::TablePrinter;
+
+namespace ibsim {
+namespace bench {
 
 namespace {
 
@@ -82,44 +82,71 @@ measure(bool odp, bool prefetch, std::uint32_t size, std::size_t count,
 
 } // namespace
 
-int
-main(int argc, char** argv)
+void
+registerAblationOdpLatency(exp::Registry& registry)
 {
-    const std::size_t count =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 16 : 64;
+    registry.add(
+        {"ablation_odp_latency",
+         "ODP vs pinned READ latency, cold and warm",
+         [](const exp::RunContext& ctx) {
+             const std::size_t count = ctx.trials(64, 16);
 
-    std::printf("== Ablation: ODP vs pinned READ latency, cold and warm "
-                "(%zu buffers per point) ==\n\n", count);
-    TablePrinter table({"size_B", "mode", "cold_us", "warm_us",
-                        "cold/warm"});
-    table.printHeader();
+             exp::Sweep sweep;
+             sweep.axis("size_B", {64.0, 1024.0, 16384.0}, 0)
+                 .axis("mode",
+                       std::vector<std::string>{"pinned", "ODP",
+                                                "ODP+prefetch",
+                                                "ODP+minRNR"});
 
-    for (std::uint32_t size : {64u, 1024u, 16384u}) {
-        const auto pinned =
-            measure(false, false, size, count, 1, 1.28);
-        const auto odp = measure(true, false, size, count, 1, 1.28);
-        const auto pre = measure(true, true, size, count, 1, 1.28);
-        const auto tuned = measure(true, false, size, count, 1, 0.01);
+             auto result = ctx.runner("ablation_odp_latency").run(
+                 sweep, 1,
+                 [count](const exp::Cell& cell, std::uint64_t seed) {
+                     const auto size = static_cast<std::uint32_t>(
+                         cell.num("size_B"));
+                     Sample s;
+                     switch (cell.valueIndex("mode")) {
+                     case 0:
+                         s = measure(false, false, size, count, seed,
+                                     1.28);
+                         break;
+                     case 1:
+                         s = measure(true, false, size, count, seed,
+                                     1.28);
+                         break;
+                     case 2:
+                         s = measure(true, true, size, count, seed,
+                                     1.28);
+                         break;
+                     default:
+                         s = measure(true, false, size, count, seed,
+                                     0.01);
+                         break;
+                     }
+                     return exp::Metrics{}
+                         .set("cold_us", s.coldUs)
+                         .set("warm_us", s.warmUs)
+                         .set("cold_warm_ratio",
+                              s.warmUs > 0 ? s.coldUs / s.warmUs : 0);
+                 });
 
-        auto row = [&](const char* mode, const Sample& s) {
-            table.printRow({TablePrinter::fmt(std::uint64_t{size}), mode,
-                            TablePrinter::fmt(s.coldUs, 2),
-                            TablePrinter::fmt(s.warmUs, 2),
-                            TablePrinter::fmt(
-                                s.warmUs > 0 ? s.coldUs / s.warmUs : 0,
-                                1)});
-        };
-        row("pinned", pinned);
-        row("ODP", odp);
-        row("ODP+prefetch", pre);
-        row("ODP+minRNR", tuned);
-        std::printf("\n");
-    }
-
-    std::printf("Li et al.'s findings hold: cold ODP pays the fault plus "
-                "the RNR round trip\n(milliseconds vs microseconds); warm "
-                "ODP matches pinned; prefetch removes the\ncold gap; and "
-                "tuning the RNR NAK timer down (Sec. IX-A) shrinks the "
-                "cold path\nby the shortened wait.\n");
-    return 0;
+             auto sink = ctx.sink("ablation_odp_latency");
+             sink.table(
+                 "Ablation: ODP vs pinned READ latency, cold and warm "
+                 "(" + std::to_string(count) + " buffers per point)",
+                 result,
+                 {exp::col("cold_us", exp::Stat::Mean, 2, "cold_us"),
+                  exp::col("warm_us", exp::Stat::Mean, 2, "warm_us"),
+                  exp::col("cold_warm_ratio", exp::Stat::Mean, 1,
+                           "cold/warm")});
+             sink.note(
+                 "Li et al.'s findings hold: cold ODP pays the fault "
+                 "plus the RNR round trip\n(milliseconds vs "
+                 "microseconds); warm ODP matches pinned; prefetch "
+                 "removes the\ncold gap; and tuning the RNR NAK timer "
+                 "down (Sec. IX-A) shrinks the cold path\nby the "
+                 "shortened wait.");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

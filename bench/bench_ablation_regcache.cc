@@ -17,16 +17,19 @@
  * the runtime-vs-memory trade-off ODP aims to dissolve.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
+
+#include <functional>
+#include <memory>
 
 #include "cluster/cluster.hh"
 #include "mem/address_space.hh"
-#include "pitfall/experiment.hh"
 #include "regcache/registration_cache.hh"
 
 using namespace ibsim;
-using ibsim::pitfall::TablePrinter;
+
+namespace ibsim {
+namespace bench {
 
 namespace {
 
@@ -39,6 +42,9 @@ struct RunResult
     double totalMs = 0;
     double overheadMs = 0;  // registration or fault handling
     std::uint64_t pinnedPages = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
 };
 
 /** Issue @p ops WRITEs of random pool buffers using a strategy functor. */
@@ -82,148 +88,187 @@ runStrategy(std::size_t ops, std::uint64_t seed, AcquireMr&& acquire_mr,
     return r;
 }
 
-} // namespace
-
-int
-main(int argc, char** argv)
+RunResult
+runRegisterPerOp(std::size_t ops, std::uint64_t seed)
 {
-    const std::size_t ops =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 500 : 2000;
+    const regcache::RegCacheConfig cost_model;  // shared cost constants
+    Time mgmt;
+    return runStrategy(
+        ops, seed,
+        [&](Cluster& cluster, Node& client, std::uint64_t addr,
+            std::uint64_t len) -> verbs::MemoryRegion& {
+            const Time cost = cost_model.registerBase +
+                              cost_model.registerPerPage +
+                              cost_model.deregisterBase +
+                              cost_model.deregisterPerPage;
+            mgmt += cost;
+            cluster.advance(cost);
+            auto& mr = client.registerMemory(
+                addr - addr % mem::pageSize, mem::pageSize,
+                verbs::AccessFlags::pinned());
+            (void)len;
+            return mr;
+        },
+        [&] { return mgmt.toMs(); }, [] { return 1ull; });
+}
 
-    std::printf("== Ablation: memory management strategies "
-                "(%zu random 256-B WRITEs over a %llu-page pool) ==\n\n",
-                ops, static_cast<unsigned long long>(poolPages));
-    TablePrinter table({"strategy", "total_ms", "overhead_ms",
-                        "pinned_pages"});
-    table.printHeader();
+RunResult
+runPinDownCache(std::size_t ops, std::uint64_t seed)
+{
+    std::unique_ptr<regcache::RegistrationCache> cache;
+    auto r = runStrategy(
+        ops, seed,
+        [&](Cluster& cluster, Node& client, std::uint64_t addr,
+            std::uint64_t len) -> verbs::MemoryRegion& {
+            if (!cache) {
+                regcache::RegCacheConfig config;
+                config.capacityBytes = poolBytes / 4;
+                cache = std::make_unique<regcache::RegistrationCache>(
+                    client, cluster.events(), config);
+            }
+            return cache->acquire(addr, len);
+        },
+        [&] { return cache->stats().managementTime.toMs(); },
+        [&] { return cache->pinnedBytes() / mem::pageSize; });
+    r.cacheHits = cache->stats().hits;
+    r.cacheMisses = cache->stats().misses;
+    r.cacheEvictions = cache->stats().evictions;
+    return r;
+}
 
-    regcache::RegCacheConfig cost_model;  // shared cost constants
-
-    // 1. register + deregister around every operation.
-    {
-        Time mgmt;
-        auto r = runStrategy(
-            ops, 1,
-            [&](Cluster& cluster, Node& client, std::uint64_t addr,
-                std::uint64_t len) -> verbs::MemoryRegion& {
+RunResult
+runPinnedAll(std::size_t ops, std::uint64_t seed)
+{
+    const regcache::RegCacheConfig cost_model;
+    verbs::MemoryRegion* pool_mr = nullptr;
+    Time mgmt;
+    return runStrategy(
+        ops, seed,
+        [&](Cluster& cluster, Node& client, std::uint64_t addr,
+            std::uint64_t len) -> verbs::MemoryRegion& {
+            (void)addr;
+            (void)len;
+            if (!pool_mr) {
                 const Time cost =
                     cost_model.registerBase +
-                    cost_model.registerPerPage + cost_model.deregisterBase +
-                    cost_model.deregisterPerPage;
+                    cost_model.registerPerPage *
+                        static_cast<double>(poolPages);
                 mgmt += cost;
                 cluster.advance(cost);
-                auto& mr = client.registerMemory(
-                    addr - addr % mem::pageSize, mem::pageSize,
-                    verbs::AccessFlags::pinned());
-                (void)len;
-                return mr;
-            },
-            [&] { return mgmt.toMs(); }, [] { return 1ull; });
-        table.printRow({"register-per-op",
-                        TablePrinter::fmt(r.totalMs, 2),
-                        TablePrinter::fmt(r.overheadMs, 2),
-                        TablePrinter::fmt(r.pinnedPages)});
-    }
-
-    // 2. pin-down cache at 1/4 of the pool.
-    {
-        std::unique_ptr<regcache::RegistrationCache> cache;
-        auto r = runStrategy(
-            ops, 1,
-            [&](Cluster& cluster, Node& client, std::uint64_t addr,
-                std::uint64_t len) -> verbs::MemoryRegion& {
-                if (!cache) {
-                    auto config = cost_model;
-                    config.capacityBytes = poolBytes / 4;
-                    cache = std::make_unique<
-                        regcache::RegistrationCache>(
-                        client, cluster.events(), config);
-                }
-                return cache->acquire(addr, len);
-            },
-            [&] { return cache->stats().managementTime.toMs(); },
-            [&] { return cache->pinnedBytes() / mem::pageSize; });
-        char label[64];
-        std::snprintf(label, sizeof(label), "pin-down cache");
-        table.printRow({label, TablePrinter::fmt(r.totalMs, 2),
-                        TablePrinter::fmt(r.overheadMs, 2),
-                        TablePrinter::fmt(r.pinnedPages)});
-        std::printf("    (cache: %llu hits, %llu misses, %llu "
-                    "evictions)\n",
-                    static_cast<unsigned long long>(
-                        cache->stats().hits),
-                    static_cast<unsigned long long>(
-                        cache->stats().misses),
-                    static_cast<unsigned long long>(
-                        cache->stats().evictions));
-    }
-
-    // 3. pre-pin the whole pool.
-    {
-        verbs::MemoryRegion* pool_mr = nullptr;
-        Time mgmt;
-        auto r = runStrategy(
-            ops, 1,
-            [&](Cluster& cluster, Node& client, std::uint64_t addr,
-                std::uint64_t len) -> verbs::MemoryRegion& {
-                (void)addr;
-                (void)len;
-                if (!pool_mr) {
-                    const Time cost =
-                        cost_model.registerBase +
-                        cost_model.registerPerPage *
-                            static_cast<double>(poolPages);
-                    mgmt += cost;
-                    cluster.advance(cost);
-                    // The pool is the client's first allocation.
-                    pool_mr = &client.registerMemory(
-                        0x10000000, poolBytes,
-                        verbs::AccessFlags::pinned());
-                }
-                return *pool_mr;
-            },
-            [&] { return mgmt.toMs(); }, [] { return poolPages; });
-        table.printRow({"pinned-all", TablePrinter::fmt(r.totalMs, 2),
-                        TablePrinter::fmt(r.overheadMs, 2),
-                        TablePrinter::fmt(r.pinnedPages)});
-    }
-
-    // 4. explicit ODP over the pool: no pinning, faults on first access.
-    {
-        verbs::MemoryRegion* pool_mr = nullptr;
-        Node* client_node = nullptr;
-        auto r = runStrategy(
-            ops, 1,
-            [&](Cluster&, Node& client, std::uint64_t addr,
-                std::uint64_t len) -> verbs::MemoryRegion& {
-                (void)addr;
-                (void)len;
-                client_node = &client;
-                if (!pool_mr) {
-                    pool_mr = &client.registerMemory(
-                        0x10000000, poolBytes,
-                        verbs::AccessFlags::odp());
-                }
-                return *pool_mr;
-            },
-            [&] {
-                // Fault overhead estimate: resolved faults x mid-band
-                // latency.
-                return 0.625 * static_cast<double>(
-                                   client_node->driver()
-                                       .stats()
-                                       .faultsResolved);
-            },
-            [] { return 0ull; });
-        table.printRow({"explicit ODP", TablePrinter::fmt(r.totalMs, 2),
-                        TablePrinter::fmt(r.overheadMs, 2),
-                        TablePrinter::fmt(r.pinnedPages)});
-    }
-
-    std::printf("\nThe classic trade-off (paper Sec. I): per-op "
-                "registration pays pinning on the\ncritical path; caches "
-                "trade pinned memory for hit rate; ODP pins nothing and\n"
-                "pays page faults instead -- until the pitfalls strike "
-                "(see the other benches).\n");
-    return 0;
+                // The pool is the client's first allocation.
+                pool_mr = &client.registerMemory(
+                    0x10000000, poolBytes, verbs::AccessFlags::pinned());
+            }
+            return *pool_mr;
+        },
+        [&] { return mgmt.toMs(); }, [] { return poolPages; });
 }
+
+RunResult
+runExplicitOdp(std::size_t ops, std::uint64_t seed)
+{
+    verbs::MemoryRegion* pool_mr = nullptr;
+    Node* client_node = nullptr;
+    return runStrategy(
+        ops, seed,
+        [&](Cluster&, Node& client, std::uint64_t addr,
+            std::uint64_t len) -> verbs::MemoryRegion& {
+            (void)addr;
+            (void)len;
+            client_node = &client;
+            if (!pool_mr) {
+                pool_mr = &client.registerMemory(
+                    0x10000000, poolBytes, verbs::AccessFlags::odp());
+            }
+            return *pool_mr;
+        },
+        [&] {
+            // Fault overhead estimate: resolved faults x mid-band
+            // latency.
+            return 0.625 * static_cast<double>(
+                               client_node->driver()
+                                   .stats()
+                                   .faultsResolved);
+        },
+        [] { return 0ull; });
+}
+
+} // namespace
+
+void
+registerAblationRegcache(exp::Registry& registry)
+{
+    registry.add(
+        {"ablation_regcache", "memory management strategy trade-offs",
+         [](const exp::RunContext& ctx) {
+             const std::size_t ops = ctx.trials(2000, 500);
+
+             exp::Sweep sweep;
+             sweep.axis("strategy",
+                        std::vector<std::string>{
+                            "register-per-op", "pin-down cache",
+                            "pinned-all", "explicit ODP"});
+
+             auto result = ctx.runner("ablation_regcache").run(
+                 sweep, 1,
+                 [ops](const exp::Cell& cell, std::uint64_t seed) {
+                     RunResult r;
+                     switch (cell.valueIndex("strategy")) {
+                     case 0: r = runRegisterPerOp(ops, seed); break;
+                     case 1: r = runPinDownCache(ops, seed); break;
+                     case 2: r = runPinnedAll(ops, seed); break;
+                     default: r = runExplicitOdp(ops, seed); break;
+                     }
+                     exp::Metrics m;
+                     m.set("total_ms", r.totalMs)
+                         .set("overhead_ms", r.overheadMs)
+                         .set("pinned_pages",
+                              static_cast<double>(r.pinnedPages));
+                     if (cell.valueIndex("strategy") == 1) {
+                         m.set("cache_hits",
+                               static_cast<double>(r.cacheHits))
+                             .set("cache_misses",
+                                  static_cast<double>(r.cacheMisses))
+                             .set("cache_evictions",
+                                  static_cast<double>(
+                                      r.cacheEvictions));
+                     }
+                     return m;
+                 });
+
+             auto sink = ctx.sink("ablation_regcache");
+             sink.table(
+                 "Ablation: memory management strategies (" +
+                     std::to_string(ops) +
+                     " random 256-B WRITEs over a " +
+                     std::to_string(poolPages) + "-page pool)",
+                 result,
+                 {exp::col("total_ms", exp::Stat::Mean, 2, "total_ms"),
+                  exp::col("overhead_ms", exp::Stat::Mean, 2,
+                           "overhead_ms"),
+                  exp::col("pinned_pages", exp::Stat::Mean, 0,
+                           "pinned_pages")});
+
+             const auto& cache_cell = result.cells[1];
+             if (cache_cell.hasMetric("cache_hits")) {
+                 char line[160];
+                 std::snprintf(
+                     line, sizeof(line),
+                     "    (cache: %.0f hits, %.0f misses, %.0f "
+                     "evictions)",
+                     cache_cell.metric("cache_hits").mean(),
+                     cache_cell.metric("cache_misses").mean(),
+                     cache_cell.metric("cache_evictions").mean());
+                 sink.note(line);
+             }
+             sink.note(
+                 "The classic trade-off (paper Sec. I): per-op "
+                 "registration pays pinning on the\ncritical path; "
+                 "caches trade pinned memory for hit rate; ODP pins "
+                 "nothing and\npays page faults instead -- until the "
+                 "pitfalls strike (see the other benches).");
+         }});
+}
+
+} // namespace bench
+} // namespace ibsim

@@ -11,16 +11,18 @@
  * workaround family.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
+
+#include <memory>
 
 #include "cluster/cluster.hh"
 #include "net/loss.hh"
-#include "pitfall/experiment.hh"
 #include "swrel/soft_reliable.hh"
 
 using namespace ibsim;
-using ibsim::pitfall::TablePrinter;
+
+namespace ibsim {
+namespace bench {
 
 namespace {
 
@@ -97,39 +99,54 @@ runSoft(double loss_rate, std::uint64_t seed)
 
 } // namespace
 
-int
-main(int argc, char** argv)
+void
+registerAblationReliability(exp::Registry& registry)
 {
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 2 : 5;
+    registry.add(
+        {"ablation_reliability",
+         "hardware (RC) vs software (UC + retry timer) reliability",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(5, 2);
 
-    std::printf("== Ablation: hardware (RC) vs software (UC + retry "
-                "timer) reliability ==\n   (%zu writes of %u B; RC "
-                "C_ack=1 -> 537 ms floor; software timer 1 ms)\n\n",
-                messages, messageBytes);
-    TablePrinter table({"loss_rate", "RC_total_s", "soft_total_s",
-                        "RC/soft"});
-    table.printHeader();
+             exp::Sweep sweep;
+             sweep.axis("loss_rate", {0.0, 0.001, 0.005, 0.02}, 3);
 
-    for (double loss : {0.0, 0.001, 0.005, 0.02}) {
-        Accumulator rc;
-        Accumulator soft;
-        for (std::size_t t = 1; t <= trials; ++t) {
-            rc.add(runRc(loss, t));
-            soft.add(runSoft(loss, t));
-        }
-        table.printRow(
-            {TablePrinter::fmt(loss, 3), TablePrinter::fmt(rc.mean(), 3),
-             TablePrinter::fmt(soft.mean(), 3),
-             TablePrinter::fmt(soft.mean() > 0
-                                   ? rc.mean() / soft.mean()
-                                   : 0.0,
-                               1)});
-    }
+             // Both channels run inside one trial with the same seed, so
+             // the RC/soft ratio compares identical loss patterns.
+             auto result = ctx.runner("ablation_reliability").run(
+                 sweep, trials,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     const double loss = cell.num("loss_rate");
+                     const double rc = runRc(loss, seed);
+                     const double soft = runSoft(loss, seed);
+                     return exp::Metrics{}
+                         .set("rc_total_s", rc)
+                         .set("soft_total_s", soft)
+                         .set("ratio", soft > 0 ? rc / soft : 0.0);
+                 });
 
-    std::printf("\nEvery lost packet costs RC a full vendor-floored "
-                "timeout; the software timer\nrecovers in milliseconds "
-                "(Koop et al.'s case for software reliability, and why\n"
-                "the paper's damming losses are so expensive).\n");
-    return 0;
+             auto sink = ctx.sink("ablation_reliability");
+             char head[200];
+             std::snprintf(
+                 head, sizeof(head),
+                 "Ablation: hardware (RC) vs software (UC + retry "
+                 "timer) reliability\n   (%zu writes of %u B; RC "
+                 "C_ack=1 -> 537 ms floor; software timer 1 ms)",
+                 messages, messageBytes);
+             auto columns = std::vector<exp::MetricColumn>{
+                 exp::col("rc_total_s", exp::Stat::Mean, 3,
+                          "RC_total_s"),
+                 exp::col("soft_total_s", exp::Stat::Mean, 3,
+                          "soft_total_s"),
+                 exp::col("ratio", exp::Stat::Mean, 1, "RC/soft")};
+             sink.table(head, result, columns);
+             sink.note(
+                 "Every lost packet costs RC a full vendor-floored "
+                 "timeout; the software timer\nrecovers in milliseconds "
+                 "(Koop et al.'s case for software reliability, and "
+                 "why\nthe paper's damming losses are so expensive).");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

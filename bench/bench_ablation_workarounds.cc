@@ -10,61 +10,86 @@
  *     dammed request in milliseconds instead of ~500 ms.
  *  3. Packet flood vs prefetch (ibv_advise_mr) — pre-resolving the pages
  *     eliminates the faults, hence the flood.
+ *  4. Packet flood vs re-issuing stalled READs on fresh QPs.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
 
-#include "pitfall/experiment.hh"
+#include <algorithm>
+#include <memory>
+
 #include "pitfall/microbench.hh"
 #include "pitfall/workarounds.hh"
 
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
+namespace ibsim {
+namespace bench {
+
 namespace {
 
-void
-dammingVsRnrDelay(std::size_t trials)
+MicroBenchConfig
+floodConfig()
 {
-    std::printf("-- 1. damming window vs minimal RNR NAK delay "
-                "(2 READs, server-side ODP, interval 1 ms) --\n\n");
-    TablePrinter table({"rnr_delay_ms", "P(timeout)%", "avg_exec_s"});
-    table.printHeader();
-    for (double delay_ms : {0.01, 0.16, 0.64, 1.28, 10.24}) {
-        std::size_t timeouts = 0;
-        auto acc = runTrials(trials, [&](std::uint64_t seed) {
+    MicroBenchConfig config;
+    config.numOps = 128;
+    config.numQps = 128;
+    config.size = 32;
+    config.interval = Time::us(8);
+    config.odpMode = OdpMode::ClientSide;
+    config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
+    config.capture = false;
+    return config;
+}
+
+rnic::DeviceProfile
+floodProfile()
+{
+    auto profile = rnic::DeviceProfile::knl();
+    profile.faultTiming.faultLatencyMin = Time::us(780);
+    profile.faultTiming.faultLatencyMax = Time::us(820);
+    return profile;
+}
+
+void
+dammingVsRnrDelay(const exp::RunContext& ctx, exp::ResultSink& sink,
+                  std::size_t trials)
+{
+    exp::Sweep sweep;
+    sweep.axis("rnr_delay_ms", {0.01, 0.16, 0.64, 1.28, 10.24}, 2);
+    auto result = ctx.runner("ablation_workarounds/rnr").run(
+        sweep, trials, [](const exp::Cell& cell, std::uint64_t seed) {
             MicroBenchConfig config;
             config.numOps = 2;
             config.interval = Time::ms(1);
             config.odpMode = OdpMode::ServerSide;
-            config.qpConfig.minRnrNakDelay = Time::ms(delay_ms);
+            config.qpConfig.minRnrNakDelay =
+                Time::ms(cell.num("rnr_delay_ms"));
             config.capture = false;
             MicroBenchmark bench(config, rnic::DeviceProfile::knl(),
                                  seed);
             auto r = bench.run();
-            if (r.timedOut())
-                ++timeouts;
-            return r.executionTime.toSec();
-        }, static_cast<std::uint64_t>(delay_ms * 1000));
-        table.printRow({TablePrinter::fmt(delay_ms, 2),
-                        TablePrinter::fmt(100.0 * timeouts / trials, 0),
-                        TablePrinter::fmt(acc.mean(), 4)});
-    }
-    std::printf("\n");
+            return exp::Metrics{}
+                .set("timeout", r.timedOut())
+                .set("exec_s", r.executionTime.toSec());
+        });
+    sink.table("1. damming window vs minimal RNR NAK delay (2 READs, "
+               "server-side ODP, interval 1 ms)",
+               result,
+               {exp::col("timeout", exp::Stat::PctMean, 0, "P(timeout)%"),
+                exp::col("exec_s", exp::Stat::Mean, 4, "avg_exec_s")});
 }
 
 void
-dammingVsDummyTimer(std::size_t trials)
+dammingVsDummyTimer(const exp::RunContext& ctx, exp::ResultSink& sink,
+                    std::size_t trials)
 {
-    std::printf("-- 2. damming vs dummy-communication timer "
-                "(2 READs, both-side ODP, interval 1 ms) --\n\n");
-    TablePrinter table({"dummy_timer", "P(timeout)%", "avg_exec_s"});
-    table.printHeader();
-
-    for (bool use_timer : {false, true}) {
-        std::size_t timeouts = 0;
-        auto acc = runTrials(trials, [&](std::uint64_t seed) {
+    exp::Sweep sweep;
+    sweep.axis("dummy_timer", std::vector<std::string>{"off", "on (5 ms)"});
+    auto result = ctx.runner("ablation_workarounds/dummy").run(
+        sweep, trials, [](const exp::Cell& cell, std::uint64_t seed) {
+            const bool use_timer = cell.valueIndex("dummy_timer") == 1;
             MicroBenchConfig config;
             config.numOps = 2;
             config.interval = Time::ms(1);
@@ -87,57 +112,40 @@ dammingVsDummyTimer(std::size_t trials)
             // dummy timer to the first QP via a pre-scheduled hook.
             std::unique_ptr<DummyCommTimer> timer;
             if (use_timer) {
-                bench.cluster().events().scheduleAfter(
-                    Time::us(1), [&] {
-                        if (bench.clientQps().empty())
-                            return;
-                        timer = std::make_unique<DummyCommTimer>(
-                            bench.cluster(), bench.clientQps()[0], dl,
-                            dmr_c.lkey(), dr, dmr_s.rkey(),
-                            /*period=*/Time::ms(5));
-                        timer->start();
-                    });
+                bench.cluster().events().scheduleAfter(Time::us(1), [&] {
+                    if (bench.clientQps().empty())
+                        return;
+                    timer = std::make_unique<DummyCommTimer>(
+                        bench.cluster(), bench.clientQps()[0], dl,
+                        dmr_c.lkey(), dr, dmr_s.rkey(),
+                        /*period=*/Time::ms(5));
+                    timer->start();
+                });
             }
             auto r = bench.run();
             if (timer)
                 timer->stop();
-            if (r.timedOut())
-                ++timeouts;
-            return r.executionTime.toSec();
-        }, use_timer ? 500 : 600);
-        table.printRow({use_timer ? "on (5 ms)" : "off",
-                        TablePrinter::fmt(100.0 * timeouts / trials, 0),
-                        TablePrinter::fmt(acc.mean(), 4)});
-    }
-    std::printf("\n");
+            return exp::Metrics{}
+                .set("timeout", r.timedOut())
+                .set("exec_s", r.executionTime.toSec());
+        });
+    sink.table("2. damming vs dummy-communication timer (2 READs, "
+               "both-side ODP, interval 1 ms)",
+               result,
+               {exp::col("timeout", exp::Stat::PctMean, 0, "P(timeout)%"),
+                exp::col("exec_s", exp::Stat::Mean, 4, "avg_exec_s")});
 }
 
 void
-floodVsPrefetch(std::size_t trials)
+floodVsPrefetch(const exp::RunContext& ctx, exp::ResultSink& sink,
+                std::size_t trials)
 {
-    std::printf("-- 3. flood vs prefetch (128 QPs, 128 ops, 32 B, "
-                "client-side ODP) --\n\n");
-    TablePrinter table({"prefetch", "avg_exec_ms", "upd_failures",
-                        "rexmits"});
-    table.printHeader();
-
-    for (bool prefetch : {false, true}) {
-        Accumulator exec;
-        Accumulator fails;
-        Accumulator rexmits;
-        for (std::size_t t = 0; t < trials; ++t) {
-            MicroBenchConfig config;
-            config.numOps = 128;
-            config.numQps = 128;
-            config.size = 32;
-            config.interval = Time::us(8);
-            config.odpMode = OdpMode::ClientSide;
-            config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
-            config.capture = false;
-            auto profile = rnic::DeviceProfile::knl();
-            profile.faultTiming.faultLatencyMin = Time::us(780);
-            profile.faultTiming.faultLatencyMax = Time::us(820);
-            MicroBenchmark bench(config, profile, t + 1);
+    exp::Sweep sweep;
+    sweep.axis("prefetch", std::vector<std::string>{"off", "on"});
+    auto result = ctx.runner("ablation_workarounds/prefetch").run(
+        sweep, trials, [](const exp::Cell& cell, std::uint64_t seed) {
+            const bool prefetch = cell.valueIndex("prefetch") == 1;
+            MicroBenchmark bench(floodConfig(), floodProfile(), seed);
             if (prefetch) {
                 // ibv_advise_mr on the whole destination range right as
                 // the run starts (the MR is created inside run(); advise
@@ -151,44 +159,31 @@ floodVsPrefetch(std::size_t trials)
                     });
             }
             auto r = bench.run();
-            exec.add(r.executionTime.toMs());
-            fails.add(static_cast<double>(r.updateFailures));
-            rexmits.add(static_cast<double>(r.retransmissions));
-        }
-        table.printRow({prefetch ? "on" : "off",
-                        TablePrinter::fmt(exec.mean(), 3),
-                        TablePrinter::fmt(fails.mean(), 0),
-                        TablePrinter::fmt(rexmits.mean(), 0)});
-    }
-    std::printf("\n");
+            return exp::Metrics{}
+                .set("exec_ms", r.executionTime.toMs())
+                .set("upd_failures",
+                     static_cast<double>(r.updateFailures))
+                .set("rexmits", static_cast<double>(r.retransmissions));
+        });
+    sink.table("3. flood vs prefetch (128 QPs, 128 ops, 32 B, "
+               "client-side ODP)",
+               result,
+               {exp::col("exec_ms", exp::Stat::Mean, 3, "avg_exec_ms"),
+                exp::col("upd_failures", exp::Stat::Mean, 0,
+                         "upd_failures"),
+                exp::col("rexmits", exp::Stat::Mean, 0, "rexmits")});
 }
 
 void
-floodVsRescue(std::size_t trials)
+floodVsRescue(const exp::RunContext& ctx, exp::ResultSink& sink,
+              std::size_t trials)
 {
-    std::printf("-- 4. flood vs re-issue on fresh QPs "
-                "(128 QPs, 128 ops, 32 B, client-side ODP) --\n\n");
-    TablePrinter table({"rescue", "avg_avail_ms", "p95_avail_ms",
-                        "rescues"});
-    table.printHeader();
-
-    for (bool rescue : {false, true}) {
-        Accumulator avail;
-        Accumulator p95;
-        Accumulator rescues;
-        for (std::size_t t = 0; t < trials; ++t) {
-            MicroBenchConfig config;
-            config.numOps = 128;
-            config.numQps = 128;
-            config.size = 32;
-            config.interval = Time::us(8);
-            config.odpMode = OdpMode::ClientSide;
-            config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
-            config.capture = false;
-            auto profile = rnic::DeviceProfile::knl();
-            profile.faultTiming.faultLatencyMin = Time::us(780);
-            profile.faultTiming.faultLatencyMax = Time::us(820);
-            MicroBenchmark bench(config, profile, t + 1);
+    exp::Sweep sweep;
+    sweep.axis("rescue", std::vector<std::string>{"off", "on (8 QPs)"});
+    auto result = ctx.runner("ablation_workarounds/rescue").run(
+        sweep, trials, [](const exp::Cell& cell, std::uint64_t seed) {
+            const bool rescue = cell.valueIndex("rescue") == 1;
+            MicroBenchmark bench(floodConfig(), floodProfile(), seed);
 
             std::unique_ptr<FloodRescue> pool;
             verbs::CompletionQueue* rescue_cq = nullptr;
@@ -236,30 +231,40 @@ floodVsRescue(std::size_t trials)
             Accumulator per_run;
             for (double v : avail_ms)
                 per_run.add(v);
-            avail.add(per_run.mean());
-            p95.add(per_run.percentile(95));
-            rescues.add(pool ? static_cast<double>(pool->rescuesIssued())
-                             : 0.0);
-        }
-        table.printRow({rescue ? "on (8 QPs)" : "off",
-                        TablePrinter::fmt(avail.mean(), 3),
-                        TablePrinter::fmt(p95.mean(), 3),
-                        TablePrinter::fmt(rescues.mean(), 0)});
-    }
-    std::printf("\n");
+            return exp::Metrics{}
+                .set("avail_ms", per_run.mean())
+                .set("p95_avail_ms", per_run.percentile(95))
+                .set("rescues",
+                     pool ? static_cast<double>(pool->rescuesIssued())
+                          : 0.0);
+        });
+    sink.table("4. flood vs re-issue on fresh QPs (128 QPs, 128 ops, "
+               "32 B, client-side ODP)",
+               result,
+               {exp::col("avail_ms", exp::Stat::Mean, 3, "avg_avail_ms"),
+                exp::col("p95_avail_ms", exp::Stat::Mean, 3,
+                         "p95_avail_ms"),
+                exp::col("rescues", exp::Stat::Mean, 0, "rescues")});
 }
 
 } // namespace
 
-int
-main(int argc, char** argv)
+void
+registerAblationWorkarounds(exp::Registry& registry)
 {
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 4 : 10;
-    std::printf("== Ablation: Sec. IX-A workarounds ==\n\n");
-    dammingVsRnrDelay(trials);
-    dammingVsDummyTimer(trials);
-    floodVsPrefetch(trials);
-    floodVsRescue(trials);
-    return 0;
+    registry.add(
+        {"ablation_workarounds", "Sec. IX-A software workarounds",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(10, 4);
+             auto sink = ctx.sink("ablation_workarounds");
+             sink.note("== Ablation: Sec. IX-A workarounds ==");
+             sink.blank();
+             dammingVsRnrDelay(ctx, sink, trials);
+             dammingVsDummyTimer(ctx, sink, trials);
+             floodVsPrefetch(ctx, sink, trials);
+             floodVsRescue(ctx, sink, trials);
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

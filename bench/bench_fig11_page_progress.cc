@@ -10,8 +10,7 @@
  * pages) the staircase stretches to hundreds of milliseconds.
  */
 
-#include <cstdio>
-#include <vector>
+#include "suite.hh"
 
 #include "mem/address_space.hh"
 #include "pitfall/microbench.hh"
@@ -19,10 +18,13 @@
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
+namespace ibsim {
+namespace bench {
+
 namespace {
 
-void
-runOne(std::size_t num_ops)
+MicroBenchConfig
+fig11Config(std::size_t num_ops)
 {
     MicroBenchConfig config;
     config.numOps = num_ops;
@@ -32,20 +34,35 @@ runOne(std::size_t num_ops)
     config.odpMode = OdpMode::ClientSide;
     config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
     config.capture = false;
+    return config;
+}
 
+rnic::DeviceProfile
+fig11Profile()
+{
     // Pin the fault latency near the top of the common band (the paper's
     // Fig. 11a run resolved its fault at ~1 ms).
     auto profile = rnic::DeviceProfile::knl();
     profile.faultTiming.faultLatencyMin = Time::us(780);
     profile.faultTiming.faultLatencyMax = Time::us(820);
+    return profile;
+}
 
-    MicroBenchmark bench(config, profile, /*seed=*/3);
+void
+renderStaircase(exp::ResultSink& sink, std::size_t num_ops,
+                std::uint64_t seed)
+{
+    const MicroBenchConfig config = fig11Config(num_ops);
+    MicroBenchmark bench(config, fig11Profile(), seed);
     auto r = bench.run();
 
     const std::size_t pages =
         (num_ops * config.size + mem::pageSize - 1) / mem::pageSize;
-    std::printf("---- %zu operations (%zu page%s) ----\n", num_ops, pages,
-                pages == 1 ? "" : "s");
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "---- %zu operations (%zu page%s) ----", num_ops,
+                  pages, pages == 1 ? "" : "s");
+    sink.note(line);
 
     // Completion timeline: how many ops of each page finished by time t.
     std::vector<Time> checkpoints;
@@ -53,12 +70,16 @@ runOne(std::size_t num_ops)
     for (int i = 1; i <= 24; ++i)
         checkpoints.push_back(end * (static_cast<double>(i) / 24.0));
 
-    std::printf("%-12s", "time");
-    for (std::size_t p = 0; p < pages; ++p)
-        std::printf(" page%-4zu", p);
-    std::printf("\n");
+    std::string header = "time        ";
+    for (std::size_t p = 0; p < pages; ++p) {
+        char cell[24];
+        std::snprintf(cell, sizeof(cell), " page%-4zu", p);
+        header += cell;
+    }
+    sink.note(header);
     for (const Time& t : checkpoints) {
-        std::printf("%-12s", t.str().c_str());
+        std::snprintf(line, sizeof(line), "%-12s", t.str().c_str());
+        std::string row = line;
         for (std::size_t p = 0; p < pages; ++p) {
             std::size_t done = 0;
             for (std::size_t i = 0; i < num_ops; ++i) {
@@ -66,31 +87,72 @@ runOne(std::size_t num_ops)
                 if (page == p && r.completionTimes[i] <= t)
                     ++done;
             }
-            std::printf(" %-8zu", done);
+            char cell[24];
+            std::snprintf(cell, sizeof(cell), " %-8zu", done);
+            row += cell;
         }
-        std::printf("\n");
+        sink.note(row);
     }
-    std::printf("execution=%s update_failures=%llu rexmits=%llu\n\n",
-                r.executionTime.str().c_str(),
-                static_cast<unsigned long long>(r.updateFailures),
-                static_cast<unsigned long long>(r.retransmissions));
+    std::snprintf(line, sizeof(line),
+                  "execution=%s update_failures=%llu rexmits=%llu",
+                  r.executionTime.str().c_str(),
+                  static_cast<unsigned long long>(r.updateFailures),
+                  static_cast<unsigned long long>(r.retransmissions));
+    sink.note(line);
+    sink.blank();
 }
 
 } // namespace
 
-int
-main()
+void
+registerFig11(exp::Registry& registry)
 {
-    std::printf("== Fig. 10: memory layout ==\n\n"
-                "  page p holds ops [128p .. 128p+127]; op i uses QP "
-                "(i %% 128) at offset 32*i --\n  every page is shared by "
-                "all 128 QPs.\n\n");
-    std::printf("== Fig. 11: completed operations per page over time "
-                "(128 QPs, 32 B, client ODP) ==\n\n");
-    runOne(128);
-    runOne(512);
-    std::printf("Paper: 11a -- completions start at ~1 ms but the first "
-                "~30 ops stall ~5 ms more;\n11b -- with 4 pages the "
-                "per-page staircase stretches to hundreds of ms.\n");
-    return 0;
+    registry.add(
+        {"fig11", "completed operations per page over time (flood)",
+         [](const exp::RunContext& ctx) {
+             auto sink = ctx.sink("fig11");
+             sink.note(
+                 "== Fig. 10: memory layout ==\n\n"
+                 "  page p holds ops [128p .. 128p+127]; op i uses QP "
+                 "(i % 128) at offset 32*i --\n  every page is shared "
+                 "by all 128 QPs.\n");
+             sink.note("== Fig. 11: completed operations per page over "
+                       "time (128 QPs, 32 B, client ODP) ==");
+             sink.blank();
+
+             const exp::SeedStream seeds("fig11", ctx.userSeed);
+
+             exp::Sweep sweep;
+             sweep.axis("ops", {128.0, 512.0}, 0);
+
+             // Summary metrics through the runner (parallel, JSON).
+             auto result = ctx.runner("fig11").run(
+                 sweep, 1,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     const auto num_ops = static_cast<std::size_t>(
+                         cell.num("ops"));
+                     MicroBenchmark bench(fig11Config(num_ops),
+                                          fig11Profile(), seed);
+                     auto r = bench.run();
+                     return exp::Metrics{}
+                         .set("exec_s", r.executionTime.toSec())
+                         .set("upd_fail",
+                              static_cast<double>(r.updateFailures))
+                         .set("rexmits",
+                              static_cast<double>(r.retransmissions));
+                 });
+
+             // The staircase renderings, same seeds as the JSON rows.
+             renderStaircase(sink, 128, seeds.trialSeed(0, 0));
+             renderStaircase(sink, 512, seeds.trialSeed(1, 0));
+
+             sink.jsonOnly("fig11", result);
+             sink.note("Paper: 11a -- completions start at ~1 ms but "
+                       "the first ~30 ops stall ~5 ms more;\n11b -- "
+                       "with 4 pages the per-page staircase stretches "
+                       "to hundreds of ms.");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

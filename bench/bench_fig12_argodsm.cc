@@ -9,8 +9,7 @@
  * global-lock READ + SEND sequence.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
 
 #include "apps/mini_dsm.hh"
 #include "simcore/stats.hh"
@@ -18,54 +17,71 @@
 using namespace ibsim;
 using namespace ibsim::apps;
 
-namespace {
+namespace ibsim {
+namespace bench {
 
 void
-runSystem(const DsmSystemParams& system, std::size_t trials)
+registerFig12(exp::Registry& registry)
 {
-    std::printf("---- %s ----\n", system.name.c_str());
-    for (bool odp : {false, true}) {
-        DsmConfig config;
-        config.odp = odp;
-        MiniDsm dsm(system, config);
+    registry.add(
+        {"fig12", "ArgoDSM init/finalize time distribution (bimodal)",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(100, 20);
+             auto sink = ctx.sink("fig12");
+             sink.note("== Fig. 12: ArgoDSM init/finalize execution "
+                       "time distribution (" +
+                       std::to_string(trials) + " trials) ==");
+             sink.blank();
 
-        Accumulator exec;
-        std::size_t timed_out = 0;
-        for (std::size_t t = 0; t < trials; ++t) {
-            auto r = dsm.run(/*seed=*/t + 1);
-            if (!r.completed)
-                continue;
-            exec.add(r.executionTime.toSec());
-            if (r.timeouts > 0)
-                ++timed_out;
-        }
+             exp::Sweep sweep;
+             sweep.axis("system",
+                        std::vector<std::string>{"KNL", "Reedbush-H"})
+                 .axis("odp", std::vector<std::string>{"off", "on"});
 
-        std::printf("\n%s ODP (avg: %.2f s, min %.2f, max %.2f; "
-                    "timeout in %zu/%zu trials)\n",
-                    odp ? "w/ " : "w/o", exec.mean(), exec.min(),
-                    exec.max(), timed_out, trials);
-        Histogram hist(0.0, exec.max() * 1.05 + 0.1, 20);
-        for (double v : exec.samples())
-            hist.add(v);
-        std::printf("%s", hist.str(50).c_str());
-    }
-    std::printf("\n");
+             auto result = ctx.runner("fig12").run(
+                 sweep, trials,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     const DsmSystemParams system =
+                         cell.valueIndex("system") == 0
+                             ? DsmSystemParams::knl()
+                             : DsmSystemParams::reedbushH();
+                     DsmConfig config;
+                     config.odp = cell.str("odp") == "on";
+                     MiniDsm dsm(system, config);
+                     auto r = dsm.run(seed);
+                     exp::Metrics m;
+                     m.set("completed", r.completed);
+                     if (r.completed) {
+                         m.set("exec_s", r.executionTime.toSec());
+                         m.set("timeout", r.timeouts > 0);
+                     }
+                     return m;
+                 });
+
+             sink.table(
+                 "", result,
+                 {exp::col("exec_s", exp::Stat::Mean, 2, "avg_s"),
+                  exp::col("exec_s", exp::Stat::Min, 2, "min_s"),
+                  exp::col("exec_s", exp::Stat::Max, 2, "max_s"),
+                  exp::col("timeout", exp::Stat::Sum, 0, "timed_out"),
+                  exp::col("completed", exp::Stat::Count, 0, "trials")});
+
+             // The histograms, from the retained per-trial samples.
+             for (const exp::CellStats& cell : result.cells) {
+                 const Accumulator& exec = cell.metric("exec_s");
+                 sink.note("---- " + cell.str("system") + ", ODP " +
+                           cell.str("odp") + " ----");
+                 Histogram hist(0.0, exec.max() * 1.05 + 0.1, 20);
+                 for (double v : exec.samples())
+                     hist.add(v);
+                 sink.note(hist.str(50));
+             }
+
+             sink.note("Paper: KNL 2.28 s -> 3.12 s avg, Reedbush-H "
+                       "0.50 s -> 0.92 s avg; the w/-ODP histograms are "
+                       "bimodal, the slow group carrying the timeout.");
+         }});
 }
 
-} // namespace
-
-int
-main(int argc, char** argv)
-{
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 20 : 100;
-
-    std::printf("== Fig. 12: ArgoDSM init/finalize execution time "
-                "distribution (%zu trials) ==\n\n", trials);
-    runSystem(DsmSystemParams::knl(), trials);
-    runSystem(DsmSystemParams::reedbushH(), trials);
-    std::printf("Paper: KNL 2.28 s -> 3.12 s avg, Reedbush-H 0.50 s -> "
-                "0.92 s avg; the w/-ODP histograms are bimodal, the slow "
-                "group carrying the timeout.\n");
-    return 0;
-}
+} // namespace bench
+} // namespace ibsim

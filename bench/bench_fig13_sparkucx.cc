@@ -10,61 +10,79 @@
  * quantity.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
 
 #include "apps/mini_shuffle.hh"
-#include "pitfall/experiment.hh"
-#include "simcore/stats.hh"
 
 using namespace ibsim;
 using namespace ibsim::apps;
-using ibsim::pitfall::TablePrinter;
 
-int
-main(int argc, char** argv)
+namespace ibsim {
+namespace bench {
+
+void
+registerFig13(exp::Registry& registry)
 {
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 1 : 3;
+    registry.add(
+        {"fig13", "SparkUCX examples, ODP disabled vs enabled",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(3, 1);
+             const auto rows = ShuffleRow::table13();
 
-    std::printf("== Fig. 13: SparkUCX examples, ODP disabled vs enabled "
-                "(%zu trials) ==\n\n", trials);
-    TablePrinter table({"example", "system", "QPs", "disable_s",
-                        "enable_s", "ratio", "upd_fail", "stall_max_s"},
-                       /*column_width=*/16);
-    table.printHeader();
+             std::vector<std::string> labels;
+             for (const auto& row : rows)
+                 labels.push_back(row.example.substr(0, 10) + "/" +
+                                  row.system);
 
-    for (const auto& row : ShuffleRow::table13()) {
-        Accumulator base;
-        Accumulator odp;
-        Accumulator fails;
-        Accumulator stall;
-        for (std::size_t t = 0; t < trials; ++t) {
-            auto rb = MiniShuffle(row, /*odp=*/false).run(t + 1);
-            auto ro = MiniShuffle(row, /*odp=*/true).run(t + 1);
-            if (rb.completed)
-                base.add(rb.executionTime.toSec());
-            if (ro.completed) {
-                odp.add(ro.executionTime.toSec());
-                fails.add(static_cast<double>(ro.updateFailures));
-                stall.add(ro.longestWave.toSec());
-            }
-        }
-        const double ratio =
-            base.mean() > 0 ? odp.mean() / base.mean() : 0.0;
-        table.printRow({row.example.substr(0, 15), row.system,
-                        TablePrinter::fmt(std::uint64_t(row.qps)),
-                        TablePrinter::fmt(base.mean(), 2),
-                        TablePrinter::fmt(odp.mean(), 2),
-                        TablePrinter::fmt(ratio, 2),
-                        TablePrinter::fmt(fails.mean(), 0),
-                        TablePrinter::fmt(stall.max(), 2)});
-    }
+             exp::Sweep sweep;
+             sweep.axis("job", labels);
 
-    std::printf("\nPaper ratios -- SparkTC: 1.56 / 6.46 / 1.01 / 1.42; "
-                "Recommendation: 1.51 / 3.59 / 1.07 / 1.18; "
-                "RankingMetrics: 1.30 / 2.38 / 1.37 / 2.37.\n"
-                "Jobs with intermittent multi-second stalls exhibit the "
-                "paper's 'stuck for a few seconds' flood signature.\n");
-    return 0;
+             // One trial runs the ODP-disabled and -enabled job with the
+             // same seed, so the ratio is paired per trial.
+             auto result = ctx.runner("fig13").run(
+                 sweep, trials,
+                 [&rows](const exp::Cell& cell, std::uint64_t seed) {
+                     const auto& row = rows[cell.valueIndex("job")];
+                     auto rb = MiniShuffle(row, /*odp=*/false).run(seed);
+                     auto ro = MiniShuffle(row, /*odp=*/true).run(seed);
+                     exp::Metrics m;
+                     m.set("qps", static_cast<double>(row.qps));
+                     if (rb.completed)
+                         m.set("disable_s", rb.executionTime.toSec());
+                     if (ro.completed) {
+                         m.set("enable_s", ro.executionTime.toSec());
+                         m.set("upd_fail", static_cast<double>(
+                                               ro.updateFailures));
+                         m.set("stall_s", ro.longestWave.toSec());
+                     }
+                     if (rb.completed && ro.completed &&
+                         rb.executionTime.toSec() > 0)
+                         m.set("ratio", ro.executionTime.toSec() /
+                                            rb.executionTime.toSec());
+                     return m;
+                 });
+
+             auto sink = ctx.sink("fig13");
+             sink.table(
+                 "Fig. 13: SparkUCX examples, ODP disabled vs enabled "
+                 "(" + std::to_string(trials) + " trials)",
+                 result,
+                 {exp::col("qps", exp::Stat::Mean, 0, "QPs"),
+                  exp::col("disable_s", exp::Stat::Mean, 2, "disable_s"),
+                  exp::col("enable_s", exp::Stat::Mean, 2, "enable_s"),
+                  exp::col("ratio", exp::Stat::Mean, 2, "ratio"),
+                  exp::col("upd_fail", exp::Stat::Mean, 0, "upd_fail"),
+                  exp::col("stall_s", exp::Stat::Max, 2,
+                           "stall_max_s")});
+             sink.note(
+                 "Paper ratios -- SparkTC: 1.56 / 6.46 / 1.01 / 1.42; "
+                 "Recommendation: 1.51 / 3.59 / 1.07 / 1.18; "
+                 "RankingMetrics: 1.30 / 2.38 / 1.37 / 2.37.\n"
+                 "Jobs with intermittent multi-second stalls exhibit "
+                 "the paper's 'stuck for a few seconds' flood "
+                 "signature.");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

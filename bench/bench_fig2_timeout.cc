@@ -7,52 +7,81 @@
  * packets are lost, post one READ with C_retry = 7, time the abort with
  * IBV_WC_RETRY_EXC_ERR, and report T_o = t / 8. The theoretical
  * T_tr = 4.096 us * 2^C_ack and T_o = 2 * T_tr curves are printed
- * alongside.
+ * alongside as pseudo-systems.
  */
 
-#include <cstdio>
-#include <vector>
+#include "suite.hh"
 
 #include "pitfall/timeout_probe.hh"
 #include "rnic/timeout.hh"
 
 using namespace ibsim;
 
-int
-main()
+namespace ibsim {
+namespace bench {
+
+void
+registerFig2(exp::Registry& registry)
 {
-    const auto systems = rnic::DeviceProfile::table1();
+    registry.add(
+        {"fig2", "timeout detection time T_o vs requested C_ack",
+         [](const exp::RunContext& ctx) {
+             const auto systems = rnic::DeviceProfile::table1();
 
-    std::printf("== Fig. 2: T_o (seconds) vs requested C_ack ==\n\n");
-    std::printf("%-5s %-12s %-12s", "Cack", "T_tr(theory)", "T_o(theory)");
-    for (const auto& p : systems) {
-        // Short column label: first word of the system name + model.
-        std::string label = p.systemName.substr(0, 10);
-        std::printf(" %-12s", label.c_str());
-    }
-    std::printf("\n");
+             std::vector<std::string> columns{"T_tr(theory)",
+                                              "T_o(theory)"};
+             for (const auto& p : systems)
+                 columns.push_back(p.systemName.substr(0, 10));
 
-    for (std::uint8_t cack = 1; cack <= 21; ++cack) {
-        const Time ttr = rnic::timeoutInterval(cack);
-        std::printf("%-5u %-12.6f %-12.6f", cack, ttr.toSec(),
-                    (ttr * 2.0).toSec());
-        for (const auto& p : systems) {
-            pitfall::TimeoutProbe probe(p);
-            const auto r = probe.measure(cack, /*seed=*/cack);
-            std::printf(" %-12.6f", r.detectedTimeout.toSec());
-        }
-        std::printf("\n");
-    }
+             std::vector<double> cacks;
+             for (int c = 1; c <= 21; ++c)
+                 cacks.push_back(c);
 
-    std::printf("\nEstimated vendor minimum C_ack per system "
-                "(from the measured floor):\n");
-    for (const auto& p : systems) {
-        pitfall::TimeoutProbe probe(p);
-        const auto r = probe.measure(1);
-        std::printf("  %-22s effective C_ack at request 1: %u "
-                    "(T_o floor %s)\n",
-                    p.systemName.c_str(), r.effectiveCack,
-                    r.detectedTimeout.str().c_str());
-    }
-    return 0;
+             exp::Sweep sweep;
+             sweep.axis("cack", cacks, 0)
+                 .axis("system", columns);
+
+             auto result = ctx.runner("fig2").run(
+                 sweep, 1,
+                 [&](const exp::Cell& cell, std::uint64_t seed) {
+                     const auto cack = static_cast<std::uint8_t>(
+                         cell.num("cack"));
+                     const std::size_t sys =
+                         cell.valueIndex("system");
+                     double to_s = 0.0;
+                     if (sys == 0) {
+                         to_s = rnic::timeoutInterval(cack).toSec();
+                     } else if (sys == 1) {
+                         to_s =
+                             (rnic::timeoutInterval(cack) * 2.0).toSec();
+                     } else {
+                         pitfall::TimeoutProbe probe(systems[sys - 2]);
+                         to_s = probe.measure(cack, seed)
+                                    .detectedTimeout.toSec();
+                     }
+                     return exp::Metrics{}.set("to_s", to_s);
+                 });
+
+             auto sink = ctx.sink("fig2");
+             sink.pivot("Fig. 2: T_o (seconds) vs requested C_ack",
+                        result, "cack", "system",
+                        exp::col("to_s", exp::Stat::Mean, 6, "T_o_s"));
+
+             sink.note("Estimated vendor minimum C_ack per system (from "
+                       "the measured floor):");
+             for (const auto& p : systems) {
+                 pitfall::TimeoutProbe probe(p);
+                 const auto r = probe.measure(1);
+                 char line[160];
+                 std::snprintf(line, sizeof(line),
+                               "  %-22s effective C_ack at request 1: "
+                               "%u (T_o floor %s)",
+                               p.systemName.c_str(), r.effectiveCack,
+                               r.detectedTimeout.str().c_str());
+                 sink.note(line);
+             }
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

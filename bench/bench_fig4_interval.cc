@@ -9,51 +9,59 @@
  * milliseconds outside it.
  */
 
-#include <cstdio>
-#include <string>
+#include "suite.hh"
 
-#include "pitfall/experiment.hh"
 #include "pitfall/microbench.hh"
 
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
-int
-main(int argc, char** argv)
+namespace ibsim {
+namespace bench {
+
+void
+registerFig4(exp::Registry& registry)
 {
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 3 : 10;
+    registry.add(
+        {"fig4", "execution time vs interval (2 READs, both-side ODP)",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(10, 3);
 
-    std::printf("== Fig. 4: execution time vs interval "
-                "(2 READs, both-side ODP, 10 trials) ==\n\n");
-    TablePrinter table({"interval_ms", "avg_exec_s", "min_s", "max_s",
-                        "P(timeout)%"});
-    table.printHeader();
+             exp::Sweep sweep;
+             sweep.axis("interval_ms", exp::Sweep::range(0.0, 6.0, 0.25),
+                        /*precision=*/2);
 
-    for (double interval_ms = 0.0; interval_ms <= 6.01;
-         interval_ms += 0.25) {
-        std::size_t timeouts = 0;
-        auto acc = runTrials(trials, [&](std::uint64_t seed) {
-            MicroBenchConfig config;
-            config.numOps = 2;
-            config.interval = Time::ms(interval_ms);
-            config.odpMode = OdpMode::BothSide;
-            config.capture = false;
-            MicroBenchmark bench(config, rnic::DeviceProfile::knl(), seed);
-            auto r = bench.run();
-            if (r.timedOut())
-                ++timeouts;
-            return r.executionTime.toSec();
-        }, /*seed_base=*/static_cast<std::uint64_t>(interval_ms * 100));
+             auto result = ctx.runner("fig4").run(
+                 sweep, trials,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     MicroBenchConfig config;
+                     config.numOps = 2;
+                     config.interval =
+                         Time::ms(cell.num("interval_ms"));
+                     config.odpMode = OdpMode::BothSide;
+                     config.capture = false;
+                     MicroBenchmark bench(
+                         config, rnic::DeviceProfile::knl(), seed);
+                     auto r = bench.run();
+                     return exp::Metrics{}
+                         .set("exec_s", r.executionTime.toSec())
+                         .set("timeout", r.timedOut());
+                 });
 
-        table.printRow({TablePrinter::fmt(interval_ms, 2),
-                        TablePrinter::fmt(acc.mean(), 4),
-                        TablePrinter::fmt(acc.min(), 4),
-                        TablePrinter::fmt(acc.max(), 4),
-                        TablePrinter::fmt(100.0 * timeouts / trials, 0)});
-    }
-
-    std::printf("\nPaper: executions of several hundred ms for intervals "
-                "of ~0.1-4.5 ms; fast outside.\n");
-    return 0;
+             auto sink = ctx.sink("fig4");
+             sink.table(
+                 "Fig. 4: execution time vs interval (2 READs, "
+                 "both-side ODP, " + std::to_string(trials) + " trials)",
+                 result,
+                 {exp::col("exec_s", exp::Stat::Mean, 4, "avg_exec_s"),
+                  exp::col("exec_s", exp::Stat::Min, 4, "min_s"),
+                  exp::col("exec_s", exp::Stat::Max, 4, "max_s"),
+                  exp::col("timeout", exp::Stat::PctMean, 0,
+                           "P(timeout)%")});
+             sink.note("Paper: executions of several hundred ms for "
+                       "intervals of ~0.1-4.5 ms; fast outside.");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

@@ -6,7 +6,7 @@
  * transport timeout recovers it.
  */
 
-#include <cstdio>
+#include "suite.hh"
 
 #include "capture/trace_format.hh"
 #include "pitfall/detectors.hh"
@@ -15,41 +15,77 @@
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
-namespace {
+namespace ibsim {
+namespace bench {
 
 void
-runOne(OdpMode mode, Time interval)
+registerFig5(exp::Registry& registry)
 {
-    MicroBenchConfig config;
-    config.numOps = 2;
-    config.interval = interval;
-    config.odpMode = mode;
+    registry.add(
+        {"fig5", "workflow of packet damming with two READs",
+         [](const exp::RunContext& ctx) {
+             auto sink = ctx.sink("fig5");
+             sink.note("== Fig. 5: workflow of ODP with two READ "
+                       "operations (packet damming) ==");
+             sink.blank();
 
-    MicroBenchmark bench(config, rnic::DeviceProfile::knl(), /*seed=*/2);
-    auto result = bench.run();
+             const exp::SeedStream seeds("fig5", ctx.userSeed);
+             const struct
+             {
+                 OdpMode mode;
+                 Time interval;
+             } cases[] = {{OdpMode::ServerSide, Time::ms(1)},
+                          {OdpMode::ClientSide, Time::us(300)}};
 
-    std::printf("---- %s (interval %s) ----\n", odpModeName(mode),
-                interval.str().c_str());
-    std::printf("%s",
-                capture::formatWorkflow(*bench.packetCapture(),
-                                        bench.client().lid())
-                    .c_str());
-    std::printf("execution=%s timeouts=%llu\n",
-                result.executionTime.str().c_str(),
-                static_cast<unsigned long long>(result.timeouts));
-    std::printf("%s\n",
-                formatReport(detectDamming(*bench.packetCapture()))
-                    .c_str());
+             exp::Sweep sweep;
+             sweep.axis("mode",
+                        std::vector<std::string>{
+                            odpModeName(cases[0].mode),
+                            odpModeName(cases[1].mode)});
+
+             auto result = ctx.runner("fig5").run(
+                 sweep, 1,
+                 [&](const exp::Cell& cell, std::uint64_t seed) {
+                     const auto& c = cases[cell.valueIndex("mode")];
+                     MicroBenchConfig config;
+                     config.numOps = 2;
+                     config.interval = c.interval;
+                     config.odpMode = c.mode;
+                     config.capture = false;
+                     MicroBenchmark bench(
+                         config, rnic::DeviceProfile::knl(), seed);
+                     auto r = bench.run();
+                     return exp::Metrics{}
+                         .set("exec_s", r.executionTime.toSec())
+                         .set("timeouts",
+                              static_cast<double>(r.timeouts));
+                 });
+
+             // The rendered workflows, from identically-seeded runs.
+             for (const auto& cell : sweep.cells()) {
+                 const auto& c = cases[cell.valueIndex("mode")];
+                 MicroBenchConfig config;
+                 config.numOps = 2;
+                 config.interval = c.interval;
+                 config.odpMode = c.mode;
+                 MicroBenchmark bench(config,
+                                      rnic::DeviceProfile::knl(),
+                                      seeds.trialSeed(cell.index(), 0));
+                 auto r = bench.run();
+                 sink.note("---- " + std::string(odpModeName(c.mode)) +
+                           " (interval " + c.interval.str() + ") ----");
+                 sink.note(capture::formatWorkflow(
+                     *bench.packetCapture(), bench.client().lid()));
+                 sink.note("execution=" + r.executionTime.str() +
+                           " timeouts=" + std::to_string(r.timeouts));
+                 sink.note(formatReport(
+                     detectDamming(*bench.packetCapture())));
+                 sink.blank();
+             }
+
+             sink.jsonOnly("fig5", result);
+         }});
 }
 
-} // namespace
-
-int
-main()
-{
-    std::printf("== Fig. 5: workflow of ODP with two READ operations "
-                "(packet damming) ==\n\n");
-    runOne(OdpMode::ServerSide, Time::ms(1));
-    runOne(OdpMode::ClientSide, Time::us(300));
-    return 0;
-}
+} // namespace bench
+} // namespace ibsim

@@ -9,80 +9,81 @@
  *      retransmission gap.
  */
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "suite.hh"
 
-#include "pitfall/experiment.hh"
 #include "pitfall/microbench.hh"
 
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
+namespace ibsim {
+namespace bench {
+
 namespace {
 
-double
-timeoutProbability(OdpMode mode, Time rnr_delay, Time interval,
-                   std::size_t trials, std::uint64_t seed_base)
+exp::Metrics
+timeoutTrial(OdpMode mode, Time rnr_delay, Time interval,
+             std::uint64_t seed)
 {
-    return probabilityPercent(trials, [&](std::uint64_t seed) {
-        MicroBenchConfig config;
-        config.numOps = 2;
-        config.interval = interval;
-        config.odpMode = mode;
-        config.qpConfig.minRnrNakDelay = rnr_delay;
-        config.capture = false;
-        MicroBenchmark bench(config, rnic::DeviceProfile::knl(), seed);
-        return bench.run().timedOut();
-    }, seed_base);
+    MicroBenchConfig config;
+    config.numOps = 2;
+    config.interval = interval;
+    config.odpMode = mode;
+    config.qpConfig.minRnrNakDelay = rnr_delay;
+    config.capture = false;
+    MicroBenchmark bench(config, rnic::DeviceProfile::knl(), seed);
+    return exp::Metrics{}.set("timeout", bench.run().timedOut());
 }
 
 } // namespace
 
-int
-main(int argc, char** argv)
+void
+registerFig6(exp::Registry& registry)
 {
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 4 : 10;
+    registry.add(
+        {"fig6", "P(timeout) vs interval (packet damming probability)",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(10, 4);
+             auto sink = ctx.sink("fig6");
 
-    const std::vector<double> delays_ms = {0.64, 1.28, 10.24};
+             exp::Sweep sweep_a;
+             sweep_a.axis("rnr_ms", {0.64, 1.28, 10.24}, 2)
+                 .axis("interval_ms", exp::Sweep::range(0.0, 6.0, 0.25),
+                       2);
+             auto result_a = ctx.runner("fig6").run(
+                 sweep_a, trials,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     return timeoutTrial(
+                         OdpMode::ServerSide,
+                         Time::ms(cell.num("rnr_ms")),
+                         Time::ms(cell.num("interval_ms")), seed);
+                 });
+             sink.pivot("Fig. 6a: P(timeout) % vs interval, server-side "
+                        "ODP",
+                        result_a, "interval_ms", "rnr_ms",
+                        exp::col("timeout", exp::Stat::PctMean, 0,
+                                 "P(timeout)%"));
 
-    std::printf("== Fig. 6a: P(timeout) %% vs interval, server-side ODP "
-                "==\n\n");
-    TablePrinter ta({"interval_ms", "rnr=0.64ms", "rnr=1.28ms",
-                     "rnr=10.24ms"});
-    ta.printHeader();
-    for (double interval_ms = 0.0; interval_ms <= 6.01;
-         interval_ms += 0.25) {
-        std::vector<std::string> cells{TablePrinter::fmt(interval_ms, 2)};
-        for (double d : delays_ms) {
-            cells.push_back(TablePrinter::fmt(
-                timeoutProbability(OdpMode::ServerSide, Time::ms(d),
-                                   Time::ms(interval_ms), trials,
-                                   static_cast<std::uint64_t>(
-                                       d * 1000 + interval_ms * 40)),
-                0));
-        }
-        ta.printRow(cells);
-    }
+             exp::Sweep sweep_b;
+             sweep_b.axis("interval_ms", exp::Sweep::range(0.0, 2.0, 0.1),
+                         2);
+             auto result_b = ctx.runner("fig6b").run(
+                 sweep_b, trials,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     return timeoutTrial(
+                         OdpMode::ClientSide, Time::ms(1.28),
+                         Time::ms(cell.num("interval_ms")), seed);
+                 });
+             sink.table("Fig. 6b: P(timeout) % vs interval, client-side "
+                        "ODP (rnr=1.28 ms)",
+                        result_b,
+                        {exp::col("timeout", exp::Stat::PctMean, 0,
+                                  "P(timeout)%")});
 
-    std::printf("\n== Fig. 6b: P(timeout) %% vs interval, client-side ODP "
-                "(rnr=1.28 ms) ==\n\n");
-    TablePrinter tb({"interval_ms", "P(timeout)%"});
-    tb.printHeader();
-    for (double interval_ms = 0.0; interval_ms <= 2.01;
-         interval_ms += 0.1) {
-        tb.printRow({TablePrinter::fmt(interval_ms, 2),
-                     TablePrinter::fmt(
-                         timeoutProbability(OdpMode::ClientSide,
-                                            Time::ms(1.28),
-                                            Time::ms(interval_ms), trials,
-                                            static_cast<std::uint64_t>(
-                                                7000 + interval_ms * 40)),
-                         0)});
-    }
-
-    std::printf("\nPaper: 6a cut-offs follow ~3.5x the RNR delay "
-                "(2.2 / 4.5 / >6 ms); 6b cuts off at ~0.5 ms.\n");
-    return 0;
+             sink.note("Paper: 6a cut-offs follow ~3.5x the RNR delay "
+                       "(2.2 / 4.5 / >6 ms); 6b cuts off at ~0.5 ms.");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

@@ -9,52 +9,55 @@
  * (Sec. V-B). Expected cut-offs: ~4.5 ms / ~2.25 ms / ~1.5 ms.
  */
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "suite.hh"
 
-#include "pitfall/experiment.hh"
 #include "pitfall/microbench.hh"
 
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
-int
-main(int argc, char** argv)
+namespace ibsim {
+namespace bench {
+
+void
+registerFig7(exp::Registry& registry)
 {
-    const std::size_t trials =
-        (argc > 1 && std::string(argv[1]) == "--quick") ? 4 : 10;
+    registry.add(
+        {"fig7", "P(timeout) vs interval for 2/3/4 READs",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(10, 4);
 
-    std::printf("== Fig. 7: P(timeout) %% vs interval for 2/3/4 READs "
-                "(both-side ODP) ==\n\n");
-    TablePrinter table({"interval_ms", "2 ops", "3 ops", "4 ops"});
-    table.printHeader();
+             exp::Sweep sweep;
+             sweep.axis("ops", {2.0, 3.0, 4.0}, 0)
+                 .axis("interval_ms", exp::Sweep::range(0.0, 6.0, 0.25),
+                       2);
 
-    for (double interval_ms = 0.0; interval_ms <= 6.01;
-         interval_ms += 0.25) {
-        std::vector<std::string> cells{TablePrinter::fmt(interval_ms, 2)};
-        for (std::size_t ops : {2u, 3u, 4u}) {
-            const double p = probabilityPercent(
-                trials,
-                [&](std::uint64_t seed) {
-                    MicroBenchConfig config;
-                    config.numOps = ops;
-                    config.interval = Time::ms(interval_ms);
-                    config.odpMode = OdpMode::BothSide;
-                    config.capture = false;
-                    MicroBenchmark bench(config,
-                                         rnic::DeviceProfile::knl(),
-                                         seed);
-                    return bench.run().timedOut();
-                },
-                static_cast<std::uint64_t>(ops * 1000 +
-                                           interval_ms * 40));
-            cells.push_back(TablePrinter::fmt(p, 0));
-        }
-        table.printRow(cells);
-    }
+             auto result = ctx.runner("fig7").run(
+                 sweep, trials,
+                 [](const exp::Cell& cell, std::uint64_t seed) {
+                     MicroBenchConfig config;
+                     config.numOps =
+                         static_cast<std::size_t>(cell.num("ops"));
+                     config.interval =
+                         Time::ms(cell.num("interval_ms"));
+                     config.odpMode = OdpMode::BothSide;
+                     config.capture = false;
+                     MicroBenchmark bench(
+                         config, rnic::DeviceProfile::knl(), seed);
+                     return exp::Metrics{}.set("timeout",
+                                               bench.run().timedOut());
+                 });
 
-    std::printf("\nPaper: increasing the op count narrows the timeout "
-                "range (PSN sequence error recovery).\n");
-    return 0;
+             auto sink = ctx.sink("fig7");
+             sink.pivot("Fig. 7: P(timeout) % vs interval for 2/3/4 "
+                        "READs (both-side ODP)",
+                        result, "interval_ms", "ops",
+                        exp::col("timeout", exp::Stat::PctMean, 0,
+                                 "P(timeout)%"));
+             sink.note("Paper: increasing the op count narrows the "
+                       "timeout range (PSN sequence error recovery).");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

@@ -8,7 +8,7 @@
  * without the transport timeout.
  */
 
-#include <cstdio>
+#include "suite.hh"
 
 #include "capture/trace_format.hh"
 #include "pitfall/microbench.hh"
@@ -16,28 +16,64 @@
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
-int
-main()
+namespace ibsim {
+namespace bench {
+
+void
+registerFig8(exp::Registry& registry)
 {
-    MicroBenchConfig config;
-    config.numOps = 3;
-    config.interval = Time::ms(2.5);
-    config.odpMode = OdpMode::BothSide;
+    registry.add(
+        {"fig8", "workflow with three READs (PSN sequence recovery)",
+         [](const exp::RunContext& ctx) {
+             auto sink = ctx.sink("fig8");
 
-    MicroBenchmark bench(config, rnic::DeviceProfile::knl(), /*seed=*/11);
-    auto result = bench.run();
+             // The paper's rendering needs one seed whose jitter places
+             // the third READ outside the pending window; the historical
+             // seed 11 does, so the stream is offset to keep it.
+             const exp::SeedStream seeds("fig8", ctx.userSeed);
 
-    std::printf("== Fig. 8: workflow with three READs "
-                "(PSN sequence error recovery) ==\n\n");
-    std::printf("%s",
-                capture::formatWorkflow(*bench.packetCapture(),
-                                        bench.client().lid())
-                    .c_str());
-    std::printf("\nexecution=%s timeouts=%llu seq_naks=%llu\n",
-                result.executionTime.str().c_str(),
-                static_cast<unsigned long long>(result.timeouts),
-                static_cast<unsigned long long>(result.seqNaksReceived));
-    std::printf("Paper: the NAK (PSN sequence error) triggers immediate "
-                "retransmission of the 2nd and 3rd READs; no timeout.\n");
-    return 0;
+             MicroBenchConfig config;
+             config.numOps = 3;
+             config.interval = Time::ms(2.5);
+             config.odpMode = OdpMode::BothSide;
+
+             MicroBenchmark bench(config, rnic::DeviceProfile::knl(),
+                                  ctx.userSeed == 0
+                                      ? 11
+                                      : seeds.trialSeed(0, 0));
+             auto r = bench.run();
+
+             sink.note("== Fig. 8: workflow with three READs "
+                       "(PSN sequence error recovery) ==");
+             sink.blank();
+             sink.note(capture::formatWorkflow(*bench.packetCapture(),
+                                               bench.client().lid()));
+             sink.note("execution=" + r.executionTime.str() +
+                       " timeouts=" + std::to_string(r.timeouts) +
+                       " seq_naks=" +
+                       std::to_string(r.seqNaksReceived));
+             sink.note("Paper: the NAK (PSN sequence error) triggers "
+                       "immediate retransmission of the 2nd and 3rd "
+                       "READs; no timeout.");
+
+             // JSON row of the headline metrics.
+             exp::Sweep sweep;
+             sweep.axis("ops", {3.0}, 0);
+             exp::SweepResult result;
+             result.axisNames = {"ops"};
+             result.trialsPerCell = 1;
+             exp::CellStats stats(
+                 0, {{"ops", exp::AxisValue::number(3.0, 0)}});
+             stats.accumulate(
+                 exp::Metrics{}
+                     .set("exec_s", r.executionTime.toSec())
+                     .set("timeouts", static_cast<double>(r.timeouts))
+                     .set("seq_naks",
+                          static_cast<double>(r.seqNaksReceived)));
+             result.cells.push_back(std::move(stats));
+             sink.jsonOnly("fig8", result);
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

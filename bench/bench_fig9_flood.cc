@@ -10,79 +10,92 @@
  *      client-side only.
  */
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "suite.hh"
 
-#include "pitfall/experiment.hh"
 #include "pitfall/microbench.hh"
 
 using namespace ibsim;
 using namespace ibsim::pitfall;
 
-int
-main(int argc, char** argv)
+namespace ibsim {
+namespace bench {
+
+void
+registerFig9(exp::Registry& registry)
 {
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-    const std::size_t trials = quick ? 1 : 3;
-    // The op count is part of the experiment's geometry (the posting span
-    // must outlast the damming windows, as on the real testbed), so
-    // --quick only reduces trials.
-    const std::size_t num_ops = 8192;
+    registry.add(
+        {"fig9", "exec time and packet count vs #QPs (packet flood)",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(3, 1);
+             // The op count is part of the experiment's geometry (the
+             // posting span must outlast the damming windows, as on the
+             // real testbed), so --quick only reduces trials.
+             const std::size_t num_ops = 8192;
 
-    const std::vector<std::size_t> qp_counts = {1,  2,  5,   10,  25,
-                                                50, 100, 150, 200};
-    const std::vector<OdpMode> modes = {OdpMode::None, OdpMode::ServerSide,
-                                        OdpMode::ClientSide,
-                                        OdpMode::BothSide};
+             exp::Sweep sweep;
+             sweep.axis("mode",
+                        std::vector<std::string>{
+                            odpModeName(OdpMode::None),
+                            odpModeName(OdpMode::ServerSide),
+                            odpModeName(OdpMode::ClientSide),
+                            odpModeName(OdpMode::BothSide)})
+                 .axis("qps",
+                       {1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0,
+                        200.0},
+                       0);
 
-    std::printf("== Fig. 9a/9b: exec time and packet count vs #QPs "
-                "(%zu READs, 100 B) ==\n\n", num_ops);
-    TablePrinter table({"mode", "qps", "exec_s", "packets_k", "rexmit_k",
-                        "upd_fail", "timeouts"});
-    table.printHeader();
+             auto result = ctx.runner("fig9").run(
+                 sweep, trials,
+                 [num_ops](const exp::Cell& cell, std::uint64_t seed) {
+                     const OdpMode modes[] = {
+                         OdpMode::None, OdpMode::ServerSide,
+                         OdpMode::ClientSide, OdpMode::BothSide};
+                     MicroBenchConfig config;
+                     config.numOps = num_ops;
+                     config.numQps =
+                         static_cast<std::size_t>(cell.num("qps"));
+                     config.size = 100;
+                     config.interval = Time();  // back-to-back posts
+                     config.postOverhead =
+                         Time::ns(300);  // pipelined posting
+                     config.odpMode = modes[cell.valueIndex("mode")];
+                     config.qpConfig =
+                         MicroBenchConfig::ucxDefaultConfig();
+                     config.capture = false;  // fabric counters suffice
+                     config.waitLimit = Time::sec(600);
+                     MicroBenchmark bench(
+                         config, rnic::DeviceProfile::knl(), seed);
+                     auto r = bench.run();
+                     return exp::Metrics{}
+                         .set("exec_s", r.executionTime.toSec())
+                         .set("packets_k",
+                              static_cast<double>(r.totalPackets) / 1e3)
+                         .set("rexmit_k",
+                              static_cast<double>(r.retransmissions) /
+                                  1e3)
+                         .set("upd_fail",
+                              static_cast<double>(r.updateFailures))
+                         .set("timeouts",
+                              static_cast<double>(r.timeouts));
+                 });
 
-    for (OdpMode mode : modes) {
-        for (std::size_t qps : qp_counts) {
-            Accumulator exec;
-            Accumulator packets;
-            Accumulator rexmits;
-            Accumulator fails;
-            Accumulator timeouts;
-            for (std::size_t t = 0; t < trials; ++t) {
-                MicroBenchConfig config;
-                config.numOps = num_ops;
-                config.numQps = qps;
-                config.size = 100;
-                config.interval = Time();  // back-to-back posts
-                config.postOverhead = Time::ns(300);  // pipelined posting
-                config.odpMode = mode;
-                config.qpConfig = MicroBenchConfig::ucxDefaultConfig();
-                config.capture = false;  // fabric counters suffice
-                config.waitLimit = Time::sec(600);
-                MicroBenchmark bench(config, rnic::DeviceProfile::knl(),
-                                     1000 + t);
-                auto r = bench.run();
-                exec.add(r.executionTime.toSec());
-                packets.add(static_cast<double>(r.totalPackets) / 1e3);
-                rexmits.add(static_cast<double>(r.retransmissions) / 1e3);
-                fails.add(static_cast<double>(r.updateFailures));
-                timeouts.add(static_cast<double>(r.timeouts));
-            }
-            table.printRow({odpModeName(mode), TablePrinter::fmt(
-                                                   std::uint64_t(qps)),
-                            TablePrinter::fmt(exec.mean(), 4),
-                            TablePrinter::fmt(packets.mean(), 1),
-                            TablePrinter::fmt(rexmits.mean(), 1),
-                            TablePrinter::fmt(fails.mean(), 0),
-                            TablePrinter::fmt(timeouts.mean(), 1)});
-        }
-        std::printf("\n");
-    }
-
-    std::printf("Paper: acceptable up to ~10 QPs, then drastic "
-                "degradation (up to ~3000x) for client-/both-side ODP; "
-                "packet counts grow hundreds-fold with client-side ODP "
-                "only; server-side degrades via damming timeouts.\n");
-    return 0;
+             auto sink = ctx.sink("fig9");
+             sink.table(
+                 "Fig. 9a/9b: exec time and packet count vs #QPs (" +
+                     std::to_string(num_ops) + " READs, 100 B)",
+                 result,
+                 {exp::col("exec_s", exp::Stat::Mean, 4, "exec_s"),
+                  exp::col("packets_k", exp::Stat::Mean, 1, "packets_k"),
+                  exp::col("rexmit_k", exp::Stat::Mean, 1, "rexmit_k"),
+                  exp::col("upd_fail", exp::Stat::Mean, 0, "upd_fail"),
+                  exp::col("timeouts", exp::Stat::Mean, 1, "timeouts")});
+             sink.note(
+                 "Paper: acceptable up to ~10 QPs, then drastic "
+                 "degradation (up to ~3000x) for client-/both-side ODP; "
+                 "packet counts grow hundreds-fold with client-side ODP "
+                 "only; server-side degrades via damming timeouts.");
+         }});
 }
+
+} // namespace bench
+} // namespace ibsim

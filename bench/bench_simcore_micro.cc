@@ -1,12 +1,19 @@
 /**
  * @file
- * Google-benchmark micro-benchmarks of the simulator substrate itself:
- * event queue throughput, fabric hop cost, and full RC round trips. These
- * bound how large a flood experiment the harness can simulate per second
- * of wall clock.
+ * Micro-benchmarks of the simulator substrate itself: event queue
+ * throughput, PSN arithmetic, and full RC round trips. These bound how
+ * large a flood experiment the harness can simulate per second of wall
+ * clock.
+ *
+ * Unlike the figure benches, the reported ns/op is *wall-clock* time of
+ * this machine, so it is the one bench whose numbers legitimately vary
+ * between runs (and between --jobs settings). The deterministic part —
+ * the number of simulated items per trial — is fixed by the config.
  */
 
-#include <benchmark/benchmark.h>
+#include "suite.hh"
+
+#include <chrono>
 
 #include "cluster/cluster.hh"
 #include "rnic/qp_context.hh"
@@ -14,27 +21,48 @@
 
 using namespace ibsim;
 
+namespace ibsim {
+namespace bench {
+
 namespace {
 
-void
-BM_EventQueueScheduleRun(benchmark::State& state)
+using Clock = std::chrono::steady_clock;
+
+double
+nsPerItem(Clock::time_point start, Clock::time_point stop,
+          std::size_t items)
 {
-    for (auto _ : state) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        stop - start);
+    return static_cast<double>(ns.count()) /
+           static_cast<double>(items ? items : 1);
+}
+
+/** Schedule + run 1000 events per repetition. */
+double
+eventQueueScheduleRun(std::size_t reps)
+{
+    const auto start = Clock::now();
+    std::uint64_t sink = 0;
+    for (std::size_t r = 0; r < reps; ++r) {
         EventQueue q;
-        std::uint64_t sink = 0;
         for (int i = 0; i < 1000; ++i)
             q.scheduleAfter(Time::ns(i), [&sink] { ++sink; });
         q.run();
-        benchmark::DoNotOptimize(sink);
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
+    const auto stop = Clock::now();
+    // The side effect keeps the loop from being optimised away.
+    if (sink != reps * 1000)
+        return -1;
+    return nsPerItem(start, stop, reps * 1000);
 }
-BENCHMARK(BM_EventQueueScheduleRun);
 
-void
-BM_EventQueueCancel(benchmark::State& state)
+/** Schedule + cancel 1000 events per repetition. */
+double
+eventQueueCancel(std::size_t reps)
 {
-    for (auto _ : state) {
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
         EventQueue q;
         std::vector<EventHandle> handles;
         handles.reserve(1000);
@@ -44,26 +72,32 @@ BM_EventQueueCancel(benchmark::State& state)
             q.cancel(h);
         q.run();
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
+    const auto stop = Clock::now();
+    return nsPerItem(start, stop, reps * 1000);
 }
-BENCHMARK(BM_EventQueueCancel);
 
-void
-BM_PsnDiff(benchmark::State& state)
+/** 24-bit PSN wrap-around difference. */
+double
+psnDiff(std::size_t iters)
 {
     std::uint32_t a = 0x123456;
-    std::uint32_t b = 0xfffff0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(rnic::psnDiff(a, b));
+    const std::uint32_t b = 0xfffff0;
+    volatile std::int64_t sink = 0;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+        sink = rnic::psnDiff(a, b);
         a = (a + 1) & 0xffffff;
     }
+    const auto stop = Clock::now();
+    (void)sink;
+    return nsPerItem(start, stop, iters);
 }
-BENCHMARK(BM_PsnDiff);
 
-void
-BM_PinnedReadRoundTrip(benchmark::State& state)
+/** Pinned 100-B READ round trips on a long-lived cluster. */
+double
+pinnedReadRoundTrip(std::size_t iters, std::uint64_t seed)
 {
-    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 1);
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, seed);
     Node& client = cluster.node(0);
     Node& server = cluster.node(1);
     auto& ccq = client.createCq();
@@ -77,21 +111,22 @@ BM_PinnedReadRoundTrip(benchmark::State& state)
         client.registerMemory(dst, 4096, verbs::AccessFlags::pinned());
 
     std::uint64_t wr = 0;
-    for (auto _ : state) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
         cqp.postRead(dst, cmr.lkey(), src, smr.rkey(), 100, wr++);
         cluster.runUntil([&] { return ccq.totalCompletions() >= wr; });
     }
-    state.SetItemsProcessed(state.iterations());
+    const auto stop = Clock::now();
+    return nsPerItem(start, stop, iters);
 }
-BENCHMARK(BM_PinnedReadRoundTrip);
 
-void
-BM_OdpReadFirstFault(benchmark::State& state)
+/** Fresh cluster per iteration; first ODP READ pays the fault path. */
+double
+odpReadFirstFault(std::size_t iters, std::uint64_t seed)
 {
-    for (auto _ : state) {
-        state.PauseTiming();
-        Cluster cluster(rnic::DeviceProfile::connectX4(), 2,
-                        state.iterations() + 1);
+    double total_ns = 0;
+    for (std::size_t i = 0; i < iters; ++i) {
+        Cluster cluster(rnic::DeviceProfile::connectX4(), 2, seed + i);
         Node& client = cluster.node(0);
         Node& server = cluster.node(1);
         auto& ccq = client.createCq();
@@ -103,15 +138,84 @@ BM_OdpReadFirstFault(benchmark::State& state)
             server.registerMemory(src, 4096, verbs::AccessFlags::odp());
         auto& cmr = client.registerMemory(dst, 4096,
                                           verbs::AccessFlags::pinned());
-        state.ResumeTiming();
 
+        const auto start = Clock::now();
         cqp.postRead(dst, cmr.lkey(), src, smr.rkey(), 100, 1);
         cluster.runUntil([&] { return ccq.totalCompletions() >= 1; });
+        const auto stop = Clock::now();
+        total_ns += nsPerItem(start, stop, 1);
     }
-    state.SetItemsProcessed(state.iterations());
+    return total_ns / static_cast<double>(iters ? iters : 1);
 }
-BENCHMARK(BM_OdpReadFirstFault);
 
 } // namespace
 
-BENCHMARK_MAIN();
+void
+registerSimcoreMicro(exp::Registry& registry)
+{
+    registry.add(
+        {"simcore_micro", "simulator substrate wall-clock throughput",
+         [](const exp::RunContext& ctx) {
+             const std::size_t reps = ctx.trials(200, 20);
+
+             exp::Sweep sweep;
+             sweep.axis("micro",
+                        std::vector<std::string>{
+                            "event_queue_schedule_run",
+                            "event_queue_cancel", "psn_diff",
+                            "pinned_read_round_trip",
+                            "odp_read_first_fault"});
+
+             auto result = ctx.runner("simcore_micro").run(
+                 sweep, 1,
+                 [reps](const exp::Cell& cell, std::uint64_t seed) {
+                     double ns = 0;
+                     std::size_t items = 0;
+                     switch (cell.valueIndex("micro")) {
+                     case 0:
+                         items = reps * 1000;
+                         ns = eventQueueScheduleRun(reps);
+                         break;
+                     case 1:
+                         items = reps * 1000;
+                         ns = eventQueueCancel(reps);
+                         break;
+                     case 2:
+                         items = reps * 10000;
+                         ns = psnDiff(reps * 10000);
+                         break;
+                     case 3:
+                         items = reps * 10;
+                         ns = pinnedReadRoundTrip(reps * 10, seed);
+                         break;
+                     default:
+                         items = reps / 4 + 1;
+                         ns = odpReadFirstFault(reps / 4 + 1, seed);
+                         break;
+                     }
+                     return exp::Metrics{}
+                         .set("ns_per_item", ns)
+                         .set("items", static_cast<double>(items))
+                         .set("items_per_s",
+                              ns > 0 ? 1e9 / ns : 0.0);
+                 });
+
+             auto sink = ctx.sink("simcore_micro");
+             sink.table(
+                 "Simulator substrate micro-benchmarks (wall clock; "
+                 "numbers vary by machine)",
+                 result,
+                 {exp::col("ns_per_item", exp::Stat::Mean, 1, "ns/item"),
+                  exp::col("items", exp::Stat::Mean, 0, "items"),
+                  exp::col("items_per_s", exp::Stat::Mean, 0,
+                           "items/s")});
+             sink.note(
+                 "These bound how large a flood experiment the harness "
+                 "can simulate per second\nof wall clock; they are the "
+                 "one bench whose numbers legitimately differ across\n"
+                 "runs and --jobs settings.");
+         }});
+}
+
+} // namespace bench
+} // namespace ibsim

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Shared main() of every standalone bench binary. Each binary compiles
+ * this file with -DIBSIM_BENCH_NAME="<name>" (see bench/CMakeLists.txt)
+ * and runs exactly one suite entry with the common harness flags
+ * (--quick, --jobs, --seed, --json, --csv).
+ */
+
+#include "exp/bench_main.hh"
+#include "suite.hh"
+
+#ifndef IBSIM_BENCH_NAME
+#error "compile with -DIBSIM_BENCH_NAME=\"<bench>\""
+#endif
+
+int
+main(int argc, char** argv)
+{
+    ibsim::exp::Registry registry;
+    ibsim::bench::registerAllBenches(registry);
+    return ibsim::exp::standaloneMain(argc, argv, registry,
+                                      IBSIM_BENCH_NAME);
+}

@@ -1,0 +1,29 @@
+#include "suite.hh"
+
+namespace ibsim {
+namespace bench {
+
+void
+registerAllBenches(exp::Registry& registry)
+{
+    registerTable1(registry);
+    registerFig1(registry);
+    registerFig2(registry);
+    registerFig4(registry);
+    registerFig5(registry);
+    registerFig6(registry);
+    registerFig7(registry);
+    registerFig8(registry);
+    registerFig9(registry);
+    registerFig11(registry);
+    registerFig12(registry);
+    registerFig13(registry);
+    registerAblationWorkarounds(registry);
+    registerAblationRegcache(registry);
+    registerAblationReliability(registry);
+    registerAblationOdpLatency(registry);
+    registerSimcoreMicro(registry);
+}
+
+} // namespace bench
+} // namespace ibsim

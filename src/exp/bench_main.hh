@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared command-line entry points for the bench binaries.
+ *
+ * Every standalone bench binary is the same eight lines: build a
+ * Registry, register the suite, and hand argv to standaloneMain() with
+ * the bench's name. The multiplexed odp_bench_cli uses runBenches() to
+ * execute a --filter selection under one RunContext.
+ *
+ * Common flags (both entry points):
+ *   --quick        reduced trial budgets (the old per-bench --quick)
+ *   --jobs N       worker threads (default: IBSIM_JOBS, then hw threads)
+ *   --seed N       offset every seed stream (default 0)
+ *   --json PATH    JSON-lines output (default: IBSIM_JSON env)
+ *   --csv PATH     CSV mirror (default: IBSIM_CSV env)
+ */
+
+#ifndef IBSIM_EXP_BENCH_MAIN_HH
+#define IBSIM_EXP_BENCH_MAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/registry.hh"
+
+namespace ibsim {
+namespace exp {
+
+/**
+ * Parse the common flags out of argv into @p ctx. Unrecognized arguments
+ * are left for the caller (returned); returns false on malformed input.
+ */
+bool parseCommonFlags(int argc, char** argv, RunContext& ctx,
+                      std::vector<std::string>& rest);
+
+/** Run one selection of benches, printing a header per bench. */
+int runBenches(const Registry& registry,
+               const std::vector<const BenchInfo*>& selection,
+               const RunContext& ctx);
+
+/**
+ * main() body of a standalone bench binary: common flags only, then the
+ * named bench.
+ */
+int standaloneMain(int argc, char** argv, const Registry& registry,
+                   const std::string& bench_name);
+
+} // namespace exp
+} // namespace ibsim
+
+#endif // IBSIM_EXP_BENCH_MAIN_HH

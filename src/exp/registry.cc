@@ -1,0 +1,84 @@
+#include "exp/registry.hh"
+
+#include <stdexcept>
+
+namespace ibsim {
+namespace exp {
+
+void
+Registry::add(BenchInfo info)
+{
+    if (find(info.name))
+        throw std::logic_error("bench '" + info.name +
+                               "' registered twice");
+    benches_.push_back(std::move(info));
+}
+
+const BenchInfo*
+Registry::find(const std::string& name) const
+{
+    for (const auto& b : benches_) {
+        if (b.name == name)
+            return &b;
+    }
+    return nullptr;
+}
+
+std::vector<const BenchInfo*>
+Registry::match(const std::string& patterns) const
+{
+    // Split the comma-separated pattern list.
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : patterns) {
+        if (c == ',') {
+            if (!current.empty())
+                parts.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        parts.push_back(current);
+
+    std::vector<const BenchInfo*> out;
+    for (const auto& b : benches_) {
+        for (const auto& p : parts) {
+            if (globMatch(p, b.name)) {
+                out.push_back(&b);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+globMatch(const std::string& pattern, const std::string& text)
+{
+    // Iterative glob with single-star backtracking.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+} // namespace exp
+} // namespace ibsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bench registry — every paper figure/table reproduction as a named,
+ * discoverable entry that both the standalone bench binaries and the
+ * multiplexed odp_bench_cli runner execute through one RunContext.
+ */
+
+#ifndef IBSIM_EXP_REGISTRY_HH
+#define IBSIM_EXP_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/result_sink.hh"
+#include "exp/trial_runner.hh"
+
+namespace ibsim {
+namespace exp {
+
+/**
+ * Everything a bench body needs: trial budget, parallelism, and output
+ * routing. Built once by the CLI / standalone main and passed down.
+ */
+class RunContext
+{
+  public:
+    bool quick = false;          ///< --quick: reduced trial budgets
+    unsigned jobs = 0;           ///< --jobs: 0 = IBSIM_JOBS / hw threads
+    std::uint64_t userSeed = 0;  ///< --seed: offsets every seed stream
+    std::string jsonPath;        ///< --json: JSON-lines output file
+    std::string csvPath;         ///< --csv: CSV mirror file
+
+    /** Trial budget: the full count, or the quick count under --quick. */
+    std::size_t
+    trials(std::size_t full, std::size_t quick_count) const
+    {
+        return quick ? quick_count : full;
+    }
+
+    /** A runner whose seed stream is disjoint per bench name. */
+    TrialRunner
+    runner(const std::string& bench_name) const
+    {
+        TrialRunner::Options options;
+        options.jobs = jobs;
+        options.seeds = SeedStream(bench_name, userSeed);
+        return TrialRunner(options);
+    }
+
+    /** A sink labelled with the bench name, wired to --json/--csv. */
+    ResultSink
+    sink(const std::string& bench_name) const
+    {
+        ResultSink::Options options;
+        options.benchName = bench_name;
+        options.jsonPath = jsonPath;
+        options.csvPath = csvPath;
+        return ResultSink(options);
+    }
+};
+
+/** One registered bench. */
+struct BenchInfo
+{
+    std::string name;   ///< short id: "fig4", "ablation_regcache", ...
+    std::string title;  ///< one-line description for --list
+    std::function<void(const RunContext&)> fn;
+};
+
+/**
+ * The set of registered benches. Registration is explicit (no static
+ * initializer tricks): bench/suite.cc registers every bench body.
+ */
+class Registry
+{
+  public:
+    void add(BenchInfo info);
+
+    const std::vector<BenchInfo>& benches() const { return benches_; }
+
+    /** Exact-name lookup; nullptr when absent. */
+    const BenchInfo* find(const std::string& name) const;
+
+    /** All benches matching a comma-separated glob list, in order. */
+    std::vector<const BenchInfo*> match(const std::string& patterns) const;
+
+  private:
+    std::vector<BenchInfo> benches_;
+};
+
+/** '*' / '?' glob match (no character classes). */
+bool globMatch(const std::string& pattern, const std::string& text);
+
+} // namespace exp
+} // namespace ibsim
+
+#endif // IBSIM_EXP_REGISTRY_HH

@@ -1,6 +1,6 @@
 #include "pitfall/microbench.hh"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace ibsim {
 namespace pitfall {
@@ -33,7 +33,12 @@ MicroBenchmark::~MicroBenchmark() = default;
 MicroBenchResult
 MicroBenchmark::run()
 {
-    assert(!ran_ && "a MicroBenchmark instance runs once");
+    // A run consumes the cluster's virtual clock and buffer layout, so a
+    // second run would silently measure a different experiment.  Enforced
+    // in every build type, not just with asserts enabled.
+    if (ran_)
+        throw std::logic_error(
+            "MicroBenchmark::run() is callable once per instance");
     ran_ = true;
 
     Node& client = cluster_->node(0);

@@ -1,12 +1,28 @@
 #include "simcore/log.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <set>
 
 namespace ibsim {
 namespace log {
 
 namespace {
+
+// The component-tag registry is process-global, and concurrent trials
+// (exp::TrialRunner workers) call enabled() on every trace site.  A
+// lock-free "is anything enabled at all" fast path keeps the common case
+// (tracing off) at one relaxed atomic load; the set itself is guarded by
+// a mutex for the rare enable/disable and the traced slow path.
+std::atomic<bool> anyEnabled{false};
+
+std::mutex&
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::set<std::string>&
 enabledSet()
@@ -20,18 +36,25 @@ enabledSet()
 void
 enable(const std::string& component)
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     enabledSet().insert(component);
+    anyEnabled.store(true, std::memory_order_release);
 }
 
 void
 disableAll()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     enabledSet().clear();
+    anyEnabled.store(false, std::memory_order_release);
 }
 
 bool
 enabled(const std::string& component)
 {
+    if (!anyEnabled.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lock(registryMutex());
     const auto& s = enabledSet();
     return s.count("*") > 0 || s.count(component) > 0;
 }
@@ -41,8 +64,11 @@ trace(Time when, const std::string& component, const std::string& message)
 {
     if (!enabled(component))
         return;
-    std::fprintf(stderr, "[%12s] %-8s %s\n", when.str().c_str(),
-                 component.c_str(), message.c_str());
+    // One fprintf per line keeps lines from interleaving across threads.
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "[%12s] %-8s %s\n",
+                  when.str().c_str(), component.c_str(), message.c_str());
+    std::fputs(buf, stderr);
 }
 
 } // namespace log

@@ -1,30 +1,36 @@
 /**
  * @file
- * odp_bench_cli — the paper's micro-benchmark (Fig. 3) as a command-line
- * tool, for exploring the pitfall parameter space beyond the canned
- * benches.
+ * odp_bench_cli — the multiplexed experiment runner.
  *
- * Usage:
- *   odp_bench_cli [--ops N] [--qps N] [--size BYTES] [--interval-us U]
- *                 [--mode none|server|client|both] [--device cx3|cx4|cx5|cx6]
- *                 [--cack N] [--rnr-ms F] [--trials N] [--seed N]
- *                 [--trace] [--detect]
+ * Suite mode runs any subset of the registered paper benches in one
+ * process, sharing one RunContext (trial budget, thread pool, output
+ * files):
  *
- * Examples:
- *   # The Fig. 5 damming case, with the packet trace:
- *   odp_bench_cli --ops 2 --interval-us 1000 --mode both --trace
+ *   odp_bench_cli --list
+ *   odp_bench_cli --filter 'fig*' --jobs 8 --json results.jsonl
+ *   odp_bench_cli fig4 fig6 ablation_workarounds --quick
  *
- *   # A flood: 128 QPs, one op each, 32-byte messages:
- *   odp_bench_cli --ops 128 --qps 128 --size 32 --interval-us 8 \
+ * Explore mode is the paper's micro-benchmark (Fig. 3) with free
+ * parameters, for probing the pitfall space beyond the canned benches:
+ *
+ *   odp_bench_cli explore --ops 2 --interval-us 1000 --mode both --trace
+ *   odp_bench_cli explore --ops 128 --qps 128 --size 32 --interval-us 8 \
  *                 --mode client --cack 18 --detect
+ *
+ * (Explore mode is also entered implicitly when any of its flags is
+ * given, so pre-harness command lines keep working.)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench/suite.hh"
 #include "capture/trace_format.hh"
+#include "exp/bench_main.hh"
+#include "exp/seed_stream.hh"
 #include "pitfall/detectors.hh"
 #include "pitfall/microbench.hh"
 #include "simcore/stats.hh"
@@ -34,13 +40,13 @@ using namespace ibsim::pitfall;
 
 namespace {
 
-struct CliOptions
+struct ExploreOptions
 {
     MicroBenchConfig config;
     rnic::DeviceProfile profile = rnic::DeviceProfile::knl();
     std::string device = "cx4";
     std::size_t trials = 1;
-    std::uint64_t seed = 1;
+    std::uint64_t seed = 0;
     bool trace = false;
     bool detect = false;
 };
@@ -50,29 +56,46 @@ usage(const char* argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--ops N] [--qps N] [--size BYTES] [--interval-us U]\n"
-        "          [--mode none|server|client|both] [--device "
-        "cx3|cx4|cx5|cx6]\n"
-        "          [--cack N] [--rnr-ms F] [--trials N] [--seed N]\n"
-        "          [--trace] [--detect]\n",
-        argv0);
+        "usage: %s [selection] [common flags]   # suite mode\n"
+        "       %s explore [explore flags]      # free-parameter probe\n"
+        "\n"
+        "selection:\n"
+        "  --list              print every registered bench and exit\n"
+        "  --filter GLOBS      comma-separated glob list, e.g. 'fig*'\n"
+        "  NAME...             bench names or globs as positionals\n"
+        "  (no selection runs the full suite)\n"
+        "\n"
+        "common flags:\n"
+        "  --quick             reduced trial budgets\n"
+        "  --jobs N            worker threads (default: IBSIM_JOBS, then\n"
+        "                      hardware threads)\n"
+        "  --seed N            offset every seed stream (default 0)\n"
+        "  --json PATH         JSON-lines output (default: IBSIM_JSON)\n"
+        "  --csv PATH          CSV mirror (default: IBSIM_CSV)\n"
+        "\n"
+        "explore flags:\n"
+        "  [--ops N] [--qps N] [--size BYTES] [--interval-us U]\n"
+        "  [--mode none|server|client|both] [--device cx3|cx4|cx5|cx6]\n"
+        "  [--cack N] [--rnr-ms F] [--trials N] [--seed N]\n"
+        "  [--trace] [--detect]\n",
+        argv0, argv0);
 }
 
 bool
-parse(int argc, char** argv, CliOptions& opts)
+parseExplore(const std::vector<std::string>& args, ExploreOptions& opts)
 {
     opts.config.numOps = 2;
     opts.config.interval = Time::ms(1);
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
         auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
+            if (i + 1 >= args.size()) {
                 std::fprintf(stderr, "missing value for %s\n",
                              arg.c_str());
                 std::exit(2);
             }
-            return argv[++i];
+            return args[++i].c_str();
         };
         if (arg == "--ops") {
             opts.config.numOps = std::strtoull(next(), nullptr, 10);
@@ -122,25 +145,21 @@ parse(int argc, char** argv, CliOptions& opts)
             opts.trace = true;
         } else if (arg == "--detect") {
             opts.detect = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            std::exit(0);
         } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            std::fprintf(stderr, "unknown explore option: %s\n",
+                         arg.c_str());
             return false;
         }
     }
     return true;
 }
 
-} // namespace
-
 int
-main(int argc, char** argv)
+runExplore(const std::vector<std::string>& args, const char* argv0)
 {
-    CliOptions opts;
-    if (!parse(argc, argv, opts)) {
-        usage(argv[0]);
+    ExploreOptions opts;
+    if (!parseExplore(args, opts)) {
+        usage(argv0);
         return 2;
     }
 
@@ -154,10 +173,15 @@ main(int argc, char** argv)
                 opts.config.qpConfig.cack,
                 opts.config.qpConfig.minRnrNakDelay.str().c_str());
 
+    // One seed stream for the probe: trials draw disjoint seeds instead
+    // of the old seed+t arithmetic.
+    const exp::SeedStream seeds("odp_bench_cli/explore", opts.seed);
+
     Accumulator exec;
     std::uint64_t timeouts = 0;
     for (std::size_t t = 0; t < opts.trials; ++t) {
-        MicroBenchmark bench(opts.config, opts.profile, opts.seed + t);
+        MicroBenchmark bench(opts.config, opts.profile,
+                             seeds.trialSeed(0, t));
         auto r = bench.run();
         exec.add(r.executionTime.toSec());
         timeouts += r.timeouts;
@@ -198,4 +222,88 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(timeouts));
     }
     return 0;
+}
+
+bool
+isExploreFlag(const std::string& arg)
+{
+    static const char* flags[] = {"--ops",   "--qps",   "--size",
+                                  "--interval-us", "--mode", "--device",
+                                  "--cack",  "--rnr-ms", "--trials",
+                                  "--trace", "--detect"};
+    for (const char* f : flags)
+        if (arg == f)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Explore mode: explicit "explore" subcommand, or any legacy flag
+    // anywhere on the line (pre-harness command lines keep working).
+    if (argc > 1 && std::strcmp(argv[1], "explore") == 0)
+        return runExplore({argv + 2, argv + argc}, argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (isExploreFlag(argv[i]))
+            return runExplore({argv + 1, argv + argc}, argv[0]);
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        }
+    }
+
+    exp::Registry registry;
+    bench::registerAllBenches(registry);
+
+    exp::RunContext ctx;
+    std::vector<std::string> rest;
+    if (!exp::parseCommonFlags(argc, argv, ctx, rest)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    bool list = false;
+    std::string patterns;
+    auto add_patterns = [&](const std::string& globs) {
+        if (!patterns.empty())
+            patterns += ',';
+        patterns += globs;
+    };
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == "--list") {
+            list = true;
+        } else if (rest[i] == "--filter") {
+            if (i + 1 >= rest.size()) {
+                std::fprintf(stderr, "missing value for --filter\n");
+                return 2;
+            }
+            add_patterns(rest[++i]);
+        } else if (!rest[i].empty() && rest[i][0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", rest[i].c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            add_patterns(rest[i]);
+        }
+    }
+
+    if (list) {
+        for (const auto& bench : registry.benches())
+            std::printf("%-24s %s\n", bench.name.c_str(),
+                        bench.title.c_str());
+        return 0;
+    }
+
+    const auto selection =
+        registry.match(patterns.empty() ? "*" : patterns);
+    if (selection.empty()) {
+        std::fprintf(stderr, "no bench matches '%s' (try --list)\n",
+                     patterns.c_str());
+        return 2;
+    }
+    return exp::runBenches(registry, selection, ctx);
 }
