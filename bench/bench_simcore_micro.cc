@@ -14,6 +14,7 @@
 #include "suite.hh"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "cluster/cluster.hh"
 #include "rnic/qp_context.hh"
@@ -74,6 +75,53 @@ eventQueueCancel(std::size_t reps)
     }
     const auto stop = Clock::now();
     return nsPerItem(start, stop, reps * 1000);
+}
+
+/**
+ * Flood-shaped event churn: the schedule/cancel pattern a message flood
+ * imposes on the kernel. Every message on every QP re-arms a ~1 ms
+ * retransmission timer (cancelling the previous one — the timer almost
+ * never fires) and schedules a near-future delivery. This is the
+ * workload the timer wheel exists for: cancels are O(1) and the
+ * cancelled far-future timers are reclaimed lazily instead of
+ * tombstoning a heap.
+ */
+double
+eventQueueFlood(std::size_t reps)
+{
+    constexpr int kQps = 64;
+    constexpr int kMsgsPerQp = 100;
+    std::uint64_t delivered = 0;
+    std::size_t ops = 0;
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+        EventQueue q;
+        std::vector<EventHandle> rexmit(kQps);
+        for (int msg = 0; msg < kMsgsPerQp; ++msg) {
+            for (int i = 0; i < kQps; ++i) {
+                if (msg > 0) {
+                    q.cancel(rexmit[i]);
+                    ++ops;
+                }
+                rexmit[i] =
+                    q.scheduleAfter(Time::us(1000) + Time::ns(i), [] {});
+                q.scheduleAfter(Time::ns(1500 + (i % 7) * 100),
+                                [&delivered] { ++delivered; });
+                ops += 2;
+            }
+            q.advance(Time::us(2));
+        }
+        for (int i = 0; i < kQps; ++i) {
+            q.cancel(rexmit[i]);
+            ++ops;
+        }
+        q.run();
+    }
+    const auto stop = Clock::now();
+    if (delivered !=
+        reps * static_cast<std::uint64_t>(kQps) * kMsgsPerQp)
+        return -1;
+    return nsPerItem(start, stop, ops);
 }
 
 /** 24-bit PSN wrap-around difference. */
@@ -158,15 +206,25 @@ registerSimcoreMicro(exp::Registry& registry)
          [](const exp::RunContext& ctx) {
              const std::size_t reps = ctx.trials(200, 20);
 
+             // This bench always leaves a machine-readable record: when
+             // no --json/IBSIM_JSON destination was given, its rows go
+             // to BENCH_simcore.json in the working directory (the file
+             // the CI trajectory tracking consumes).
+             exp::RunContext local = ctx;
+             if (local.jsonPath.empty() &&
+                 std::getenv("IBSIM_JSON") == nullptr) {
+                 local.jsonPath = "BENCH_simcore.json";
+             }
+
              exp::Sweep sweep;
              sweep.axis("micro",
                         std::vector<std::string>{
                             "event_queue_schedule_run",
-                            "event_queue_cancel", "psn_diff",
-                            "pinned_read_round_trip",
+                            "event_queue_cancel", "event_queue_flood",
+                            "psn_diff", "pinned_read_round_trip",
                             "odp_read_first_fault"});
 
-             auto result = ctx.runner("simcore_micro").run(
+             auto result = local.runner("simcore_micro").run(
                  sweep, 1,
                  [reps](const exp::Cell& cell, std::uint64_t seed) {
                      double ns = 0;
@@ -181,10 +239,15 @@ registerSimcoreMicro(exp::Registry& registry)
                          ns = eventQueueCancel(reps);
                          break;
                      case 2:
+                         // 64 QPs x 100 msgs x (2 schedules + 1 cancel)
+                         items = reps * 19200;
+                         ns = eventQueueFlood(reps);
+                         break;
+                     case 3:
                          items = reps * 10000;
                          ns = psnDiff(reps * 10000);
                          break;
-                     case 3:
+                     case 4:
                          items = reps * 10;
                          ns = pinnedReadRoundTrip(reps * 10, seed);
                          break;
@@ -200,7 +263,7 @@ registerSimcoreMicro(exp::Registry& registry)
                               ns > 0 ? 1e9 / ns : 0.0);
                  });
 
-             auto sink = ctx.sink("simcore_micro");
+             auto sink = local.sink("simcore_micro");
              sink.table(
                  "Simulator substrate micro-benchmarks (wall clock; "
                  "numbers vary by machine)",

@@ -79,10 +79,21 @@ Fabric::send(Packet pkt)
 
     PortHandler* handler = it->second;
     const std::uint64_t id = pkt.wireId;
-    events_.schedule(deliverAt, [this, handler, p = std::move(pkt)]() {
+
+    // Park the packet in the pool and capture only its slot index: the
+    // delivery closure stays within the event kernel's inline capacity
+    // (no allocation per hop) and the slot's payload buffer is recycled.
+    const std::uint32_t slot = pool_.acquire();
+    pool_.at(slot) = pkt;  // copy-assign reuses the slot's payload capacity
+
+    auto deliver = [this, handler, slot] {
         ++totalDelivered_;
-        handler->receive(p);
-    });
+        handler->receive(pool_.at(slot));
+        pool_.release(slot);
+    };
+    static_assert(EventQueue::Callback::storesInline<decltype(deliver)>,
+                  "delivery closure must not allocate");
+    events_.schedule(deliverAt, std::move(deliver));
     return id;
 }
 

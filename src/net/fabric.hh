@@ -21,6 +21,7 @@
 
 #include "net/loss.hh"
 #include "net/packet.hh"
+#include "net/packet_pool.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
 
@@ -98,12 +99,22 @@ class Fabric
 
     EventQueue& events() { return events_; }
 
+    /** In-flight packet pool usage (capacity planning / tests). */
+    const PacketPool& packetPool() const { return pool_; }
+
   private:
     EventQueue& events_;
     Rng& rng_;
     LinkConfig config_;
     std::map<std::uint16_t, PortHandler*> ports_;
     std::unique_ptr<LossModel> loss_;
+    /**
+     * In-flight packets parked between send() and delivery. Delivery
+     * callbacks capture only the slot index, so they stay within the
+     * event kernel's inline-callback capacity (no allocation per hop) and
+     * payload buffers are recycled across packets.
+     */
+    PacketPool pool_;
     std::vector<CaptureTap> taps_;
     std::uint64_t nextWireId_ = 1;
     std::uint64_t totalSent_ = 0;

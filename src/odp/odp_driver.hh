@@ -45,7 +45,12 @@ struct DriverStats
 class OdpDriver
 {
   public:
-    using ResolveCallback = std::function<void()>;
+    /**
+     * Fault-resolution callback. Inline-capacity callable: the per-fault
+     * callback lists on the hot flood paths hold these without a heap
+     * allocation per registered waiter.
+     */
+    using ResolveCallback = EventQueue::Callback;
 
     OdpDriver(EventQueue& events, Rng& rng, mem::AddressSpace& memory,
               FaultTiming timing);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
 
 #include "rnic/rnic.hh"
 #include "rnic/timeout.hh"
@@ -134,7 +133,7 @@ RcRequester::post(SendWqe wqe)
         if (unmapped != 0) {
             stored.blockedOnLocalFault = true;
             const std::uint32_t psn = stored.psn;
-            auto remaining = std::make_shared<int>(0);
+            const std::uint32_t counter = faultCounters_.acquire();
             const std::uint64_t first = mem::pageOf(stored.laddr);
             const std::uint64_t last =
                 mem::pageOf(stored.laddr + stored.length - 1);
@@ -142,11 +141,12 @@ RcRequester::post(SendWqe wqe)
                 const std::uint64_t va = p * mem::pageSize;
                 if (mr->table().mappedPage(va))
                     continue;
-                ++*remaining;
+                ++faultCounters_.at(counter);
                 rnic_.driver().raiseFault(
-                    mr->table(), va, [this, psn, remaining] {
-                        if (--*remaining > 0)
+                    mr->table(), va, [this, psn, counter] {
+                        if (--faultCounters_.at(counter) > 0)
                             return;
+                        faultCounters_.release(counter);
                         // All source pages resolved: release the WQE and
                         // send it unless the engine is paused (then the
                         // next retransmission burst carries it).

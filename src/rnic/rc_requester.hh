@@ -14,6 +14,9 @@
 #ifndef IBSIM_RNIC_RC_REQUESTER_HH
 #define IBSIM_RNIC_RC_REQUESTER_HH
 
+#include <cstdint>
+#include <vector>
+
 #include "net/packet.hh"
 #include "rnic/qp_context.hh"
 #include "verbs/types.hh"
@@ -90,8 +93,39 @@ class RcRequester
     /** Progress was made: reset retry state and re-arm the timer. */
     void progressMade();
 
+    /**
+     * Pooled fan-in counters for multi-page sender-side fault batches.
+     * Each batch used to allocate a std::make_shared<int>; here the fault
+     * callbacks capture a slot index into this free-list pool, and the
+     * slot is recycled when the last page of the batch resolves. A slot
+     * is never released while its callbacks are still in flight.
+     */
+    struct CounterPool
+    {
+        std::uint32_t
+        acquire()
+        {
+            if (!free.empty()) {
+                const std::uint32_t idx = free.back();
+                free.pop_back();
+                counters[idx] = 0;
+                return idx;
+            }
+            counters.push_back(0);
+            return static_cast<std::uint32_t>(counters.size() - 1);
+        }
+
+        void release(std::uint32_t idx) { free.push_back(idx); }
+
+        int& at(std::uint32_t idx) { return counters[idx]; }
+
+        std::vector<int> counters;
+        std::vector<std::uint32_t> free;
+    };
+
     Rnic& rnic_;
     QpContext& qp_;
+    CounterPool faultCounters_;
 };
 
 } // namespace rnic

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * InlineFunction — a move-only callable wrapper with a small inline buffer.
+ *
+ * The discrete-event kernel schedules millions of short-lived callbacks per
+ * flood trial; wrapping each one in std::function heap-allocates whenever
+ * the capture outgrows the library's tiny internal buffer. InlineFunction
+ * stores captures of up to Capacity bytes directly inside the object, so
+ * every hot-path callback in src/rnic/, src/odp/ and src/net/ (a handful of
+ * pointers and integers each) is constructed, moved and destroyed without
+ * touching the allocator. Callables larger than Capacity still work — they
+ * fall back to a single heap box — so the type stays a drop-in replacement
+ * for std::function<void()>, but the event kernel is tuned so that nothing
+ * on the hot path ever takes that branch (see InlineFunction::storesInline
+ * and the static_asserts in the code that cares).
+ */
+
+#ifndef IBSIM_SIMCORE_INLINE_FUNCTION_HH
+#define IBSIM_SIMCORE_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ibsim {
+
+/**
+ * Move-only void() callable with Capacity bytes of inline storage.
+ */
+template <std::size_t Capacity>
+class InlineFunction
+{
+  public:
+    /** Whether callables of type F are stored inline (no allocation). */
+    template <typename F>
+    static constexpr bool storesInline =
+        sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    constexpr InlineFunction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    InlineFunction(F&& f)  // NOLINT: implicit like std::function
+    {
+        construct(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept { moveFrom(other); }
+
+    InlineFunction&
+    operator=(InlineFunction&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Whether a callable is held. */
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    /** Invoke. Precondition: a callable is held. */
+    void operator()() { invoke_(storage()); }
+
+    /** Destroy the held callable (if any); leaves the wrapper empty. */
+    void
+    reset() noexcept
+    {
+        if (relocate_)
+            relocate_(storage(), nullptr);
+        invoke_ = nullptr;
+        relocate_ = nullptr;
+    }
+
+  private:
+    void* storage() noexcept { return buf_; }
+
+    template <typename F>
+    void
+    construct(F&& f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (storesInline<Fn>) {
+            ::new (storage()) Fn(std::forward<F>(f));
+            invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+            relocate_ = [](void* src, void* dst) noexcept {
+                Fn* p = static_cast<Fn*>(src);
+                if (dst)
+                    ::new (dst) Fn(std::move(*p));
+                p->~Fn();
+            };
+        } else {
+            // Oversized capture: one heap box, pointer stored inline.
+            ::new (storage())(Fn*)(new Fn(std::forward<F>(f)));
+            invoke_ = [](void* s) { (**static_cast<Fn**>(s))(); };
+            relocate_ = [](void* src, void* dst) noexcept {
+                Fn** box = static_cast<Fn**>(src);
+                if (dst)
+                    ::new (dst)(Fn*)(*box);
+                else
+                    delete *box;
+            };
+        }
+    }
+
+    void
+    moveFrom(InlineFunction& other) noexcept
+    {
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        if (relocate_)
+            relocate_(other.storage(), storage());
+        other.invoke_ = nullptr;
+        other.relocate_ = nullptr;
+    }
+
+    /** Calls the callable living in the buffer. */
+    void (*invoke_)(void*) = nullptr;
+    /** Move-constructs into @p dst and destroys @p src (dst == nullptr:
+     *  destroy only). Doubles as the "engaged" discriminator. */
+    void (*relocate_)(void* src, void* dst) noexcept = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+} // namespace ibsim
+
+#endif // IBSIM_SIMCORE_INLINE_FUNCTION_HH

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "simcore/event_queue.hh"
+#include "simcore/inline_function.hh"
 #include "simcore/log.hh"
 #include "simcore/rng.hh"
 #include "simcore/stats.hh"
@@ -152,6 +155,177 @@ TEST(EventQueueTest, EventsCanScheduleEvents)
     q.run();
     EXPECT_EQ(depth, 5);
     EXPECT_EQ(q.now(), Time::us(5));
+}
+
+TEST(EventQueueTest, CancelAfterExecuteIsBoundedNoOp)
+{
+    // Regression: the old kernel leaked one cancelled_-set entry per
+    // cancel of an already-executed handle (and corrupted pending()).
+    // With generation-counted handles the call is a pure O(1) no-op.
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(10000);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i)
+        handles.push_back(q.schedule(Time::ns(i), [&] { ++fired; }));
+    q.run();
+    ASSERT_EQ(fired, 10000);
+
+    const auto before = q.kernelStats();
+    for (auto& h : handles)
+        EXPECT_FALSE(q.cancel(h));
+    const auto after = q.kernelStats();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(after.poolNodes, before.poolNodes);
+    EXPECT_EQ(after.freeNodes, after.poolNodes);  // everything reclaimed
+    EXPECT_EQ(after.cancelledTotal, before.cancelledTotal);
+
+    // And the queue still works normally afterwards.
+    q.scheduleAfter(Time::ns(1), [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 10001);
+}
+
+TEST(EventQueueTest, HandleGenerationsPreventAliasedCancel)
+{
+    EventQueue q;
+    int later = 0;
+    auto stale = q.schedule(Time::ns(10), [] {});
+    q.run();
+    // The next schedule recycles the executed event's pool slot; the
+    // stale handle's generation no longer matches and must not cancel it.
+    q.schedule(Time::ns(20), [&] { ++later; });
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(later, 1);
+}
+
+TEST(EventQueueTest, CancelledOverflowTimersAreSwept)
+{
+    // Far-future timers (beyond the ~4.3 s wheel horizon) that get
+    // cancelled must not pin pool slots until their distant expiry.
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(5000);
+    for (int i = 0; i < 5000; ++i)
+        handles.push_back(q.schedule(Time::sec(100 + i), [] {}));
+    EXPECT_EQ(q.kernelStats().overflowNodes, 5000u);
+    for (auto& h : handles)
+        EXPECT_TRUE(q.cancel(h));
+    const auto stats = q.kernelStats();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_LE(stats.overflowNodes, 1500u);  // sweeps dropped the bulk
+    EXPECT_GE(stats.freeNodes, 3500u);
+}
+
+TEST(EventQueueTest, OrderPreservedAcrossTiers)
+{
+    // Events land in three different tiers (due heap / wheel levels /
+    // overflow heap) depending on horizon; execution order must still be
+    // exactly (time, insertion order).
+    EventQueue q;
+    const std::array<std::int64_t, 12> ns = {
+        5,            3000,         1000000,      500000000,
+        10000000000,  5,            3000,         120000000000,
+        1000000,      500000000,    10000000000,  5,
+    };
+    std::vector<std::pair<std::int64_t, int>> order;
+    for (int i = 0; i < static_cast<int>(ns.size()); ++i) {
+        q.schedule(Time::ns(ns[i]),
+                   [&order, t = ns[i], i] { order.emplace_back(t, i); });
+    }
+    q.run();
+    auto expected = [&] {
+        std::vector<std::pair<std::int64_t, int>> v;
+        for (int i = 0; i < static_cast<int>(ns.size()); ++i)
+            v.emplace_back(ns[i], i);
+        std::stable_sort(v.begin(), v.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.first < b.first;
+                         });
+        return v;
+    }();
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, SameTimeFifoAcrossOverflowAndWheel)
+{
+    // Two events at the same instant, one scheduled while that instant
+    // was beyond the wheel horizon (overflow tier) and one scheduled
+    // later from nearby (wheel tier): insertion order must win.
+    EventQueue q;
+    std::vector<int> order;
+    const Time t = Time::sec(5);  // beyond the ~4.3 s horizon at time 0
+    q.schedule(t, [&] { order.push_back(1); });
+    q.schedule(Time::sec(4.9), [&, t] {
+        q.schedule(t, [&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(InlineFunctionTest, InlineAndHeapFallbackBothWork)
+{
+    int calls = 0;
+    auto small = [&calls] { ++calls; };
+    static_assert(InlineFunction<48>::storesInline<decltype(small)>);
+    InlineFunction<48> f(small);
+    EXPECT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(calls, 1);
+
+    std::array<char, 128> big{};
+    big[0] = 7;
+    auto large = [big, &calls] { calls += big[0]; };
+    static_assert(!InlineFunction<48>::storesInline<decltype(large)>);
+    InlineFunction<48> g(large);
+    g();
+    EXPECT_EQ(calls, 8);
+
+    InlineFunction<48> h = std::move(g);
+    EXPECT_FALSE(static_cast<bool>(g));
+    ASSERT_TRUE(static_cast<bool>(h));
+    h();
+    EXPECT_EQ(calls, 15);
+}
+
+TEST(InlineFunctionTest, CaptureDestroyedExactlyOnce)
+{
+    auto token = std::make_shared<int>(0);
+    {
+        InlineFunction<48> f([token] {});
+        EXPECT_EQ(token.use_count(), 2);
+        InlineFunction<48> g = std::move(f);  // move, not copy
+        EXPECT_EQ(token.use_count(), 2);
+        g.reset();
+        EXPECT_EQ(token.use_count(), 1);
+        g.reset();  // double reset is harmless
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, HotPathCapturesStayInline)
+{
+    // The shapes every simulator hot path schedules: a couple of
+    // pointers and integers. These must never take the heap branch.
+    struct Host
+    {
+        void fire() {}
+    } host;
+    std::uint32_t idx = 0;
+    std::uint64_t a = 0, b = 0;
+    auto timer = [&host] { host.fire(); };
+    auto pooled = [&host, idx] { (void)idx; host.fire(); };
+    auto ranged = [&host, a, b] { (void)a, (void)b; host.fire(); };
+    static_assert(EventQueue::Callback::storesInline<decltype(timer)>);
+    static_assert(EventQueue::Callback::storesInline<decltype(pooled)>);
+    static_assert(EventQueue::Callback::storesInline<decltype(ranged)>);
+    EventQueue q;
+    q.scheduleAfter(Time::ns(1), timer);
+    q.scheduleAfter(Time::ns(2), pooled);
+    q.scheduleAfter(Time::ns(3), ranged);
+    EXPECT_TRUE(q.run());
 }
 
 TEST(RngTest, SameSeedSameSequence)
