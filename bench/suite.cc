@@ -23,6 +23,7 @@ registerAllBenches(exp::Registry& registry)
     registerAblationReliability(registry);
     registerAblationOdpLatency(registry);
     registerSimcoreMicro(registry);
+    registerChaosProbe(registry);
 }
 
 } // namespace bench

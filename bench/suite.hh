@@ -32,6 +32,7 @@ void registerAblationRegcache(exp::Registry& registry);
 void registerAblationReliability(exp::Registry& registry);
 void registerAblationOdpLatency(exp::Registry& registry);
 void registerSimcoreMicro(exp::Registry& registry);
+void registerChaosProbe(exp::Registry& registry);
 
 /** Register the full suite, in paper order. */
 void registerAllBenches(exp::Registry& registry);

@@ -1,0 +1,111 @@
+#include "chaos/chaos_engine.hh"
+
+#include <memory>
+
+#include "exp/seed_stream.hh"
+#include "mem/address_space.hh"
+
+namespace ibsim {
+namespace chaos {
+
+ChaosEngine::ChaosEngine(EventQueue& events, const ChaosConfig& config)
+    : events_(events), config_(config),
+      rng_(exp::SeedStream("chaos.engine", config.seed).base()),
+      injector_(config.seed)
+{
+    // Canonical stage order: timing faults first (they keep the packet),
+    // then duplication and corruption, then the drop classes, then
+    // injection of new traffic. A fixed order keeps equal configs
+    // producing equal schedules.
+    if (config_.delayRate > 0.0) {
+        injector_.addStage(std::make_unique<DelayStage>(
+            config_.filter, config_.delayRate, config_.delayMin,
+            config_.delayMax));
+    }
+    if (config_.reorderRate > 0.0) {
+        injector_.addStage(std::make_unique<ReorderStage>(
+            config_.filter, config_.reorderRate, config_.reorderMaxHold));
+    }
+    if (config_.dupRate > 0.0) {
+        injector_.addStage(std::make_unique<DuplicateStage>(
+            config_.filter, config_.dupRate, config_.dupMaxDelay));
+    }
+    if (config_.corruptRate > 0.0) {
+        injector_.addStage(std::make_unique<CorruptStage>(
+            config_.filter, config_.corruptRate, config_.corruptEvadeCrc));
+    }
+    if (config_.flapDown > Time()) {
+        injector_.addStage(std::make_unique<LinkFlapStage>(
+            config_.filter, config_.flapPeriod, config_.flapDown));
+    }
+    if (config_.dropRate > 0.0) {
+        injector_.addStage(std::make_unique<DropStage>(config_.filter,
+                                                       config_.dropRate));
+    }
+    if (config_.forgedNakRate > 0.0) {
+        PacketFilter requests = config_.filter;
+        requests.requestsOnly = true;
+        injector_.addStage(std::make_unique<ForgedNakStage>(
+            requests, config_.forgedNakRate));
+    }
+}
+
+void
+ChaosEngine::addOdpLatencySpikes(odp::OdpDriver& driver, double rate,
+                                 double factor)
+{
+    driver.setLatencyChaos([this, rate, factor] {
+        if (rng_.chance(rate)) {
+            ++stats_.odpSpikes;
+            return factor;
+        }
+        return 1.0;
+    });
+}
+
+void
+ChaosEngine::startInvalidationStorm(odp::OdpDriver& driver,
+                                    odp::TranslationTable& table,
+                                    std::uint64_t addr, std::uint64_t len,
+                                    Time interval,
+                                    std::size_t pages_per_burst,
+                                    std::size_t bursts)
+{
+    if (len == 0 || pages_per_burst == 0 || bursts == 0 || !table.odp())
+        return;
+    storms_.push_back({&driver, &table, mem::pageOf(addr),
+                       mem::pageOf(addr + len - 1), interval,
+                       pages_per_burst, bursts});
+    Storm* storm = &storms_.back();
+    events_.scheduleAfter(interval, [this, storm] { stormTick(storm); });
+}
+
+void
+ChaosEngine::stormTick(Storm* storm)
+{
+    for (std::size_t i = 0; i < storm->pagesPerBurst; ++i) {
+        const auto page = static_cast<std::uint64_t>(rng_.uniformInt(
+            static_cast<std::int64_t>(storm->firstPage),
+            static_cast<std::int64_t>(storm->lastPage)));
+        const std::uint64_t va = page * mem::pageSize;
+        if (storm->table->mappedPage(va)) {
+            storm->driver->invalidate(*storm->table, va);
+            ++stats_.pagesInvalidated;
+        }
+    }
+    ++stats_.stormBursts;
+    if (--storm->burstsLeft > 0) {
+        events_.scheduleAfter(storm->interval,
+                              [this, storm] { stormTick(storm); });
+    }
+}
+
+void
+ChaosEngine::applyCqPressure(verbs::CompletionQueue& cq,
+                             std::size_t capacity)
+{
+    cq.setCapacity(capacity);
+}
+
+} // namespace chaos
+} // namespace ibsim

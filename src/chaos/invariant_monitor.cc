@@ -1,0 +1,289 @@
+#include "chaos/invariant_monitor.hh"
+
+#include <string>
+
+#include "chaos/fault_injector.hh"
+#include "swrel/soft_reliable.hh"
+#include "verbs/completion_queue.hh"
+
+namespace ibsim {
+namespace chaos {
+
+namespace {
+
+constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+std::uint64_t
+mix(std::uint64_t hash, std::uint64_t value)
+{
+    return (hash ^ value) * fnvPrime;
+}
+
+std::string
+flowStr(std::uint16_t lid, std::uint32_t qpn)
+{
+    return "lid=" + std::to_string(lid) + " qpn=" + std::to_string(qpn);
+}
+
+} // namespace
+
+std::string
+Violation::str() const
+{
+    return "[" + at.str() + "] " + invariant + " " + flowStr(lid, qpn) +
+           ": " + detail;
+}
+
+InvariantMonitor::InvariantMonitor(net::Fabric& fabric) : fabric_(fabric)
+{
+    fabric_.addTap([this](const net::Packet& pkt, bool dropped) {
+        onEgress(pkt, dropped);
+    });
+}
+
+void
+InvariantMonitor::watch(rnic::Rnic& rnic, rnic::QpContext& qp)
+{
+    FlowState& st = flows_[{rnic.lid(), qp.qpn}];
+    st.rnic = &rnic;
+    st.qp = &qp;
+    st.lastNextPsn = qp.nextPsn;
+
+    if (tappedRnics_.insert(&rnic).second) {
+        const std::uint16_t lid = rnic.lid();
+        rnic.addSendPostTap(
+            [this, lid](const rnic::QpContext& q, const rnic::SendWqe& w) {
+                onSendPost(lid, q, w);
+            });
+        rnic.addRecvPostTap(
+            [this, lid](const rnic::QpContext& q, const rnic::RecvWqe& w) {
+                onRecvPost(lid, q, w);
+            });
+    }
+    if (qp.cq != nullptr && tappedCqs_.insert(qp.cq).second) {
+        const std::uint16_t lid = rnic.lid();
+        qp.cq->addTap([this, lid](const verbs::WorkCompletion& wc) {
+            onCompletion(lid, wc);
+        });
+    }
+}
+
+InvariantMonitor::FlowState*
+InvariantMonitor::flow(std::uint16_t lid, std::uint32_t qpn)
+{
+    auto it = flows_.find({lid, qpn});
+    return it == flows_.end() ? nullptr : &it->second;
+}
+
+void
+InvariantMonitor::emit(const std::string& invariant, std::uint16_t lid,
+                       std::uint32_t qpn, const std::string& detail)
+{
+    ++totalViolations_;
+    if (violations_.size() < storedCap) {
+        violations_.push_back(
+            {invariant, fabric_.events().now(), lid, qpn, detail});
+    }
+}
+
+void
+InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
+{
+    ++packetsObserved_;
+    traceHash_ = mix(traceHash_, static_cast<std::uint64_t>(pkt.op));
+    traceHash_ = mix(traceHash_, (std::uint64_t(pkt.srcLid) << 16) |
+                                     pkt.dstLid);
+    traceHash_ = mix(traceHash_, (std::uint64_t(pkt.srcQpn) << 32) |
+                                     pkt.dstQpn);
+    traceHash_ = mix(traceHash_, pkt.psn);
+    traceHash_ = mix(traceHash_, (std::uint64_t(pkt.length) << 32) |
+                                     (pkt.segIndex << 8) | pkt.segCount);
+    traceHash_ = mix(traceHash_,
+                     (std::uint64_t(pkt.chaosFlags) << 8) |
+                         (std::uint64_t(pkt.retransmission) << 2) |
+                         (std::uint64_t(pkt.dammed) << 1) |
+                         std::uint64_t(dropped));
+
+    // Injected noise (duplicates, corruption, forgeries) is the
+    // injector's doing, not the endpoint's: excluded from bookkeeping.
+    if (pkt.chaosFlags != 0)
+        return;
+
+    if (isRequestOpcode(pkt.op)) {
+        FlowState* st = flow(pkt.srcLid, pkt.srcQpn);
+        if (st == nullptr || st->qp == nullptr ||
+            st->qp->config.transport != verbs::Transport::Rc) {
+            return;
+        }
+        const rnic::QpContext& qp = *st->qp;
+        // A READ reserves [psn, psn+segCount) with one wire packet; all
+        // other requests occupy one PSN per packet.
+        const std::uint32_t span =
+            pkt.op == net::Opcode::ReadRequest ? pkt.segCount : 1;
+        const std::uint32_t last = (pkt.psn + span - 1) & 0xffffff;
+        if (!pkt.retransmission) {
+            for (std::uint32_t i = 0; i < span; ++i) {
+                const std::uint32_t p = (pkt.psn + i) & 0xffffff;
+                if (!st->freshSeen.insert(p).second) {
+                    emit("fresh-once", pkt.srcLid, pkt.srcQpn,
+                         "fresh " + std::string(net::opcodeName(pkt.op)) +
+                             " reuses psn=" + std::to_string(p));
+                }
+            }
+            if (rnic::psnDiff(last, qp.nextPsn) >= 0) {
+                emit("fresh-posted", pkt.srcLid, pkt.srcQpn,
+                     "fresh psn=" + std::to_string(pkt.psn) +
+                         " beyond posted range (nextPsn=" +
+                         std::to_string(qp.nextPsn) + ")");
+            }
+        } else {
+            if (rnic::psnDiff(last, qp.nextPsn) >= 0) {
+                emit("retrans-posted", pkt.srcLid, pkt.srcQpn,
+                     "retransmitted psn=" + std::to_string(pkt.psn) +
+                         " beyond posted range (nextPsn=" +
+                         std::to_string(qp.nextPsn) + ")");
+            }
+            if (!qp.outstanding.empty() &&
+                rnic::psnDiff(pkt.psn, qp.outstanding.front().psn) < 0) {
+                emit("retrans-window", pkt.srcLid, pkt.srcQpn,
+                     "retransmitted psn=" + std::to_string(pkt.psn) +
+                         " below go-back-N window head=" +
+                         std::to_string(qp.outstanding.front().psn));
+            }
+        }
+        return;
+    }
+
+    // Response-class packet: judge it against the requester (the
+    // destination flow) it acknowledges.
+    FlowState* st = flow(pkt.dstLid, pkt.dstQpn);
+    if (st == nullptr || st->qp == nullptr ||
+        st->qp->config.transport != verbs::Transport::Rc) {
+        return;
+    }
+    if (rnic::psnDiff(pkt.psn, st->qp->nextPsn) >= 0) {
+        emit("ack-coherence", pkt.dstLid, pkt.dstQpn,
+             std::string(net::opcodeName(pkt.op)) + " references psn=" +
+                 std::to_string(pkt.psn) +
+                 " never posted by the requester (nextPsn=" +
+                 std::to_string(st->qp->nextPsn) + ")");
+    }
+}
+
+void
+InvariantMonitor::onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
+                             const rnic::SendWqe& wqe)
+{
+    FlowState* st = flow(lid, qp.qpn);
+    if (st == nullptr)
+        return;
+    // P1: the post tap fires before PSN assignment, so qp.nextPsn is the
+    // value every earlier post advanced it to — it must never regress.
+    if (st->anyPostSeen &&
+        qp.config.transport == verbs::Transport::Rc &&
+        rnic::psnDiff(qp.nextPsn, st->lastNextPsn) < 0) {
+        emit("psn-monotonic", lid, qp.qpn,
+             "nextPsn regressed " + std::to_string(st->lastNextPsn) +
+                 " -> " + std::to_string(qp.nextPsn));
+    }
+    st->anyPostSeen = true;
+    st->lastNextPsn = qp.nextPsn;
+    ++st->sendPosted;
+    ++st->sendPostedByWr[wqe.wrId];
+}
+
+void
+InvariantMonitor::onRecvPost(std::uint16_t lid, const rnic::QpContext& qp,
+                             const rnic::RecvWqe& wqe)
+{
+    FlowState* st = flow(lid, qp.qpn);
+    if (st == nullptr)
+        return;
+    ++st->recvPostedByWr[wqe.wrId];
+}
+
+void
+InvariantMonitor::onCompletion(std::uint16_t lid,
+                               const verbs::WorkCompletion& wc)
+{
+    FlowState* st = flow(lid, wc.qpn);
+    if (st == nullptr)
+        return;
+    if (wc.opcode == verbs::WrOpcode::Recv) {
+        const std::uint64_t done = ++st->recvCompletedByWr[wc.wrId];
+        if (done > st->recvPostedByWr[wc.wrId]) {
+            emit("recv-exactly-once", lid, wc.qpn,
+                 "wrId=" + std::to_string(wc.wrId) + " completed " +
+                     std::to_string(done) + "x but posted " +
+                     std::to_string(st->recvPostedByWr[wc.wrId]) + "x");
+        }
+        return;
+    }
+    ++st->sendCompleted;
+    const std::uint64_t done = ++st->sendCompletedByWr[wc.wrId];
+    if (done > st->sendPostedByWr[wc.wrId]) {
+        emit("send-exactly-once", lid, wc.qpn,
+             "wrId=" + std::to_string(wc.wrId) + " completed " +
+                 std::to_string(done) + "x but posted " +
+                 std::to_string(st->sendPostedByWr[wc.wrId]) + "x");
+    }
+}
+
+void
+InvariantMonitor::finalCheck()
+{
+    for (auto& [key, st] : flows_) {
+        if (st.sendCompleted != st.sendPosted) {
+            emit("send-completion-missing", key.lid, key.qpn,
+                 std::to_string(st.sendPosted) + " send WRs posted but " +
+                     std::to_string(st.sendCompleted) + " completed");
+        }
+    }
+}
+
+void
+InvariantMonitor::checkSwrel(const swrel::SoftReliableChannel& channel)
+{
+    if (channel.delivered().size() != channel.deliveredSeqCount()) {
+        emit("swrel-exactly-once", 0, 0,
+             std::to_string(channel.delivered().size()) +
+                 " deliveries for " +
+                 std::to_string(channel.deliveredSeqCount()) +
+                 " distinct sequence numbers");
+    }
+    if (channel.stats().delivered != channel.delivered().size()) {
+        emit("swrel-exactly-once", 0, 0,
+             "delivered counter " +
+                 std::to_string(channel.stats().delivered) +
+                 " disagrees with delivery log size " +
+                 std::to_string(channel.delivered().size()));
+    }
+    for (std::uint64_t seq = 1; seq <= channel.sentCount(); ++seq) {
+        if (channel.acked(seq) && channel.failed(seq)) {
+            emit("swrel-exactly-once", 0, 0,
+                 "seq=" + std::to_string(seq) +
+                     " reported both acked and failed");
+        }
+    }
+}
+
+std::string
+InvariantMonitor::report() const
+{
+    std::string out = "invariant monitor: ";
+    if (totalViolations_ == 0) {
+        out += "clean (" + std::to_string(packetsObserved_) +
+               " packets observed)\n";
+        return out;
+    }
+    out += std::to_string(totalViolations_) + " violation(s)";
+    if (totalViolations_ > violations_.size())
+        out += " (first " + std::to_string(violations_.size()) + " shown)";
+    out += "\n";
+    for (const auto& v : violations_)
+        out += "  " + v.str() + "\n";
+    return out;
+}
+
+} // namespace chaos
+} // namespace ibsim

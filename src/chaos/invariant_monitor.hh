@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Online invariant oracle for the RC transport.
+ *
+ * The chaos engine (fault_injector.hh) answers "can we provoke this fault
+ * class?"; the monitor answers "did the transport stay correct while it
+ * happened?". It taps the fabric at egress, the RNIC post paths, and the
+ * completion queues, and checks the RC guarantees the paper's experiments
+ * lean on — exactly-once completion per posted WR (Sec. II: RC "guarantees
+ * lossless ordered delivery"), go-back-N recovery staying inside the
+ * posted PSN window (Fig. 8), and ACK/NAK coherence — emitting structured
+ * Violation reports instead of asserting.
+ *
+ * Invariants checked:
+ *  P1 psn-monotonic       a QP's nextPsn never moves backwards across posts
+ *  W1 fresh-once          a fresh (non-retransmitted) request PSN appears
+ *                         on the wire at most once per flow
+ *  W2 fresh-posted        fresh request PSNs lie inside the posted range
+ *  W3 retrans-posted      retransmitted PSNs lie inside the posted range
+ *  W4 ack-coherence       ACK/NAK/response PSNs arriving at a requester
+ *                         reference a PSN it actually posted
+ *  W5 retrans-window      retransmissions never fall below the go-back-N
+ *                         window (the oldest incomplete WQE)
+ *  C1 send-exactly-once   per (flow, wrId): send completions <= posts
+ *  C2 recv-exactly-once   per (flow, wrId): recv completions <= posts
+ *                         (a duplicate RC delivery would consume a second
+ *                         RECV and trip this)
+ *  F1 send-completion     finalCheck(): every posted send WR completed
+ *     -missing            exactly once (drained-workload runs only)
+ *  S1 swrel-exactly-once  SoftReliableChannel delivered each sequence
+ *                         number at most once, and no message is both
+ *                         acked and failed
+ *
+ * Packets carrying chaos provenance flags (duplicated / corrupted /
+ * forged — see net::Packet) are recognized as injected noise and excluded
+ * from wire bookkeeping, so the oracle judges endpoint behaviour, not the
+ * injector's. The egress tap fires synchronously inside Fabric::send(),
+ * so wire checks observe the endpoint's emission order even when the
+ * injector reorders arrivals.
+ */
+
+#ifndef IBSIM_CHAOS_INVARIANT_MONITOR_HH
+#define IBSIM_CHAOS_INVARIANT_MONITOR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "rnic/qp_context.hh"
+#include "rnic/rnic.hh"
+#include "simcore/time.hh"
+
+namespace ibsim {
+
+namespace swrel {
+class SoftReliableChannel;
+} // namespace swrel
+
+namespace chaos {
+
+/** One invariant violation (structured, render with str()). */
+struct Violation
+{
+    std::string invariant;  ///< e.g. "fresh-once", "send-exactly-once"
+    Time at;
+    std::uint16_t lid = 0;
+    std::uint32_t qpn = 0;
+    std::string detail;
+
+    std::string str() const;
+};
+
+/**
+ * The oracle. Construct over a fabric, watch() the QPs under test, run
+ * the workload, then consult violations() / report(); call finalCheck()
+ * first if the workload is expected to have fully drained.
+ */
+class InvariantMonitor
+{
+  public:
+    /** Installs the egress tap on @p fabric. */
+    explicit InvariantMonitor(net::Fabric& fabric);
+
+    InvariantMonitor(const InvariantMonitor&) = delete;
+    InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+    /**
+     * Watch one QP: wire checks for its flow, post/completion accounting
+     * via the RNIC and CQ taps (installed once per RNIC / CQ).
+     */
+    void watch(rnic::Rnic& rnic, rnic::QpContext& qp);
+
+    /**
+     * End-of-run check for drained workloads: every posted send WR on
+     * every watched flow completed exactly once (F1). Not called from
+     * wire taps because in-flight work is not a violation.
+     */
+    void finalCheck();
+
+    /** S1: exactly-once delivery accounting of a soft-reliable channel. */
+    void checkSwrel(const swrel::SoftReliableChannel& channel);
+
+    /** Total violations detected (including any beyond the stored cap). */
+    std::uint64_t violationCount() const { return totalViolations_; }
+
+    bool clean() const { return totalViolations_ == 0; }
+
+    /** Stored violations (first storedCap per run). */
+    const std::vector<Violation>& violations() const { return violations_; }
+
+    /** Multi-line human-readable report (stable across identical runs). */
+    std::string report() const;
+
+    /**
+     * FNV-1a hash over every packet observed at egress (fields + drop
+     * flag, in tap order). Two runs with the same seeds must agree.
+     */
+    std::uint64_t traceHash() const { return traceHash_; }
+
+    /** Packets observed at the egress tap. */
+    std::uint64_t packetsObserved() const { return packetsObserved_; }
+
+  private:
+    struct FlowKey
+    {
+        std::uint16_t lid;
+        std::uint32_t qpn;
+        bool operator<(const FlowKey& o) const
+        {
+            return lid != o.lid ? lid < o.lid : qpn < o.qpn;
+        }
+    };
+
+    struct FlowState
+    {
+        rnic::Rnic* rnic = nullptr;
+        rnic::QpContext* qp = nullptr;
+
+        /** P1 state: qp->nextPsn observed at the previous post. */
+        std::uint32_t lastNextPsn = 0;
+        bool anyPostSeen = false;
+
+        /** W1 state: fresh request PSNs seen on the wire. */
+        std::set<std::uint32_t> freshSeen;
+
+        /** @{ C1/C2/F1 accounting. */
+        std::uint64_t sendPosted = 0;
+        std::uint64_t sendCompleted = 0;
+        std::map<std::uint64_t, std::uint64_t> sendPostedByWr;
+        std::map<std::uint64_t, std::uint64_t> sendCompletedByWr;
+        std::map<std::uint64_t, std::uint64_t> recvPostedByWr;
+        std::map<std::uint64_t, std::uint64_t> recvCompletedByWr;
+        /** @} */
+    };
+
+    void onEgress(const net::Packet& pkt, bool dropped);
+    void onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
+                    const rnic::SendWqe& wqe);
+    void onRecvPost(std::uint16_t lid, const rnic::QpContext& qp,
+                    const rnic::RecvWqe& wqe);
+    void onCompletion(std::uint16_t lid, const verbs::WorkCompletion& wc);
+
+    FlowState* flow(std::uint16_t lid, std::uint32_t qpn);
+
+    void emit(const std::string& invariant, std::uint16_t lid,
+              std::uint32_t qpn, const std::string& detail);
+
+    static constexpr std::size_t storedCap = 64;
+
+    net::Fabric& fabric_;
+    std::map<FlowKey, FlowState> flows_;
+    std::set<const rnic::Rnic*> tappedRnics_;
+    std::set<const verbs::CompletionQueue*> tappedCqs_;
+    std::vector<Violation> violations_;
+    std::uint64_t totalViolations_ = 0;
+    std::uint64_t traceHash_ = 14695981039346656037ull;  // FNV offset basis
+    std::uint64_t packetsObserved_ = 0;
+};
+
+} // namespace chaos
+} // namespace ibsim
+
+#endif // IBSIM_CHAOS_INVARIANT_MONITOR_HH

@@ -47,38 +47,82 @@ Fabric::send(Packet pkt)
     pkt.sentAt = events_.now();
     ++totalSent_;
 
+    // Stage zero of the fault pipeline: the legacy LossModel, consulted
+    // with the fabric RNG before the hook so pre-chaos loss users keep
+    // their exact packet-for-packet (and RNG draw-for-draw) behaviour.
+    if (loss_->shouldDrop(pkt, rng_)) {
+        ++totalDropped_;
+        for (const auto& tap : taps_)
+            tap(pkt, true);
+        log::trace(events_.now(), "fabric",
+                   pkt.str() + "  ** DROPPED **");
+        return pkt.wireId;
+    }
+
+    if (hook_ != nullptr) {
+        std::vector<FaultHook::Delivery> out;
+        hook_->processPacket(pkt, events_.now(), out);
+        if (out.empty()) {
+            ++totalDropped_;
+            for (const auto& tap : taps_)
+                tap(pkt, true);
+            log::trace(events_.now(), "fabric",
+                       pkt.str() + "  ** DROPPED (chaos) **");
+            return pkt.wireId;
+        }
+        const std::uint64_t id = pkt.wireId;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (i == 0) {
+                out[i].pkt.wireId = id;
+            } else {
+                out[i].pkt.wireId = nextWireId_++;
+                ++totalInjected_;
+            }
+            out[i].pkt.sentAt = events_.now();
+            deliver(std::move(out[i].pkt), out[i].extraDelay);
+        }
+        return id;
+    }
+
+    const std::uint64_t id = pkt.wireId;
+    deliver(std::move(pkt), Time());
+    return id;
+}
+
+void
+Fabric::deliver(Packet pkt, Time extra_delay)
+{
     auto it = ports_.find(pkt.dstLid);
     const bool unknownLid = (it == ports_.end());
-    const bool lossDrop = loss_->shouldDrop(pkt, rng_);
-    const bool dropped = unknownLid || lossDrop;
 
     for (const auto& tap : taps_)
-        tap(pkt, dropped);
+        tap(pkt, unknownLid);
 
     log::trace(events_.now(), "fabric",
-               pkt.str() + (dropped ? "  ** DROPPED **" : ""));
+               pkt.str() + (unknownLid ? "  ** DROPPED **" : ""));
 
-    if (dropped) {
+    if (unknownLid) {
         ++totalDropped_;
-        return pkt.wireId;
+        return;
     }
 
     // Per-port serialization: back-to-back packets from one port (or into
     // one port) queue behind each other; disjoint port pairs do not
     // contend. This matters for the flood experiments, where the wire is
-    // actually busy.
+    // actually busy. Chaos extra delay models switch-internal queueing,
+    // so it lands between egress serialization and ingress arrival.
     const Time serialization = Time::sec(
         static_cast<double>(pkt.wireSize()) / config_.bandwidthBytesPerSec);
     Time& egress = egressFreeAt_[pkt.srcLid];
     const Time start = std::max(events_.now(), egress);
     egress = start + serialization;
     Time& ingress = ingressFreeAt_[pkt.dstLid];
-    const Time arrive = std::max(egress + config_.latency, ingress);
+    const Time arrive =
+        std::max(egress + config_.latency + extra_delay, ingress);
     ingress = arrive + serialization;
     const Time deliverAt = arrive + config_.perPacketOverhead;
 
     PortHandler* handler = it->second;
-    const std::uint64_t id = pkt.wireId;
 
     // Park the packet in the pool and capture only its slot index: the
     // delivery closure stays within the event kernel's inline capacity
@@ -86,15 +130,14 @@ Fabric::send(Packet pkt)
     const std::uint32_t slot = pool_.acquire();
     pool_.at(slot) = pkt;  // copy-assign reuses the slot's payload capacity
 
-    auto deliver = [this, handler, slot] {
+    auto deliver_cb = [this, handler, slot] {
         ++totalDelivered_;
         handler->receive(pool_.at(slot));
         pool_.release(slot);
     };
-    static_assert(EventQueue::Callback::storesInline<decltype(deliver)>,
+    static_assert(EventQueue::Callback::storesInline<decltype(deliver_cb)>,
                   "delivery closure must not allocate");
-    events_.schedule(deliverAt, std::move(deliver));
-    return id;
+    events_.schedule(deliverAt, std::move(deliver_cb));
 }
 
 } // namespace net

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault_hook.hh"
 #include "net/loss.hh"
 #include "net/packet.hh"
 #include "net/packet_pool.hh"
@@ -80,8 +81,23 @@ class Fabric
      */
     std::uint64_t send(Packet pkt);
 
-    /** Install a loss model (replaces the previous one). */
+    /**
+     * Install a loss model (replaces the previous one).
+     *
+     * Compatibility shim: the loss model is stage zero of the fault
+     * pipeline — it is consulted before the FaultHook, with the fabric's
+     * RNG, exactly as it was before the chaos engine existed, so
+     * MatchOnceLoss / BernoulliLoss users keep their packet-for-packet
+     * behaviour. New fault classes belong in a chaos::FaultInjector stage
+     * (chaos::LossModelStage adapts a LossModel into one).
+     */
     void setLossModel(std::unique_ptr<LossModel> model);
+
+    /**
+     * Install the fault-injection hook (non-owning; nullptr uninstalls).
+     * Consulted after the legacy loss stage for every surviving packet.
+     */
+    void setFaultHook(FaultHook* hook) { hook_ = hook; }
 
     /** Add a capture tap observing all traffic. */
     void addTap(CaptureTap tap);
@@ -92,8 +108,11 @@ class Fabric
     /** Total packets actually delivered. */
     std::uint64_t totalDelivered() const { return totalDelivered_; }
 
-    /** Total packets dropped (loss model or unknown LID). */
+    /** Total packets dropped (loss model, fault hook or unknown LID). */
     std::uint64_t totalDropped() const { return totalDropped_; }
+
+    /** Extra packets materialized by the fault hook (dups, forged NAKs). */
+    std::uint64_t totalInjected() const { return totalInjected_; }
 
     const LinkConfig& config() const { return config_; }
 
@@ -103,11 +122,18 @@ class Fabric
     const PacketPool& packetPool() const { return pool_; }
 
   private:
+    /**
+     * Stamp a wire id / sent time on an injected or duplicated delivery
+     * and schedule it; shared by send() for every pipeline output.
+     */
+    void deliver(Packet pkt, Time extra_delay);
+
     EventQueue& events_;
     Rng& rng_;
     LinkConfig config_;
     std::map<std::uint16_t, PortHandler*> ports_;
     std::unique_ptr<LossModel> loss_;
+    FaultHook* hook_ = nullptr;
     /**
      * In-flight packets parked between send() and delivery. Delivery
      * callbacks capture only the slot index, so they stay within the
@@ -120,6 +146,7 @@ class Fabric
     std::uint64_t totalSent_ = 0;
     std::uint64_t totalDelivered_ = 0;
     std::uint64_t totalDropped_ = 0;
+    std::uint64_t totalInjected_ = 0;
     /**
      * Per-port serialization state: packets from one source port queue
      * behind each other on its egress link, and packets into one

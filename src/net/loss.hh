@@ -7,6 +7,14 @@
  * (Sec. IV-B) and through the damming quirk — and unknown-LID drop is built
  * into the fabric itself. These models cover additional fault-injection
  * needs of the tests and ablation benches.
+ *
+ * Since the chaos engine landed, the LossModel is stage zero of the
+ * fabric's fault pipeline (see net/fault_hook.hh): it runs before the
+ * installed FaultHook, with the fabric's RNG, so pre-chaos users keep
+ * bit-identical behaviour. Richer fault classes (delay, reordering,
+ * duplication, corruption, link flaps, forged NAKs) live in
+ * chaos::FaultInjector; chaos::LossModelStage adapts any LossModel into
+ * that pipeline for seed-deterministic replay.
  */
 
 #ifndef IBSIM_NET_LOSS_HH

@@ -91,6 +91,12 @@ Packet::str() const
         extra += " [rexmit]";
     if (dammed)
         extra += " [dammed]";
+    if (chaosFlags & chaosDuplicated)
+        extra += " [chaos-dup]";
+    if (chaosFlags & chaosCorrupted)
+        extra += " [chaos-corrupt]";
+    if (chaosFlags & chaosForged)
+        extra += " [chaos-forged]";
     std::snprintf(buf, sizeof(buf),
                   "%-9s lid %u->%u qp %u->%u psn=%u len=%u%s",
                   opcodeName(op), srcLid, dstLid, srcQpn, dstQpn, psn,

@@ -108,6 +108,22 @@ struct Packet
     /** True for any retransmission (capture/analysis convenience). */
     bool retransmission = false;
 
+    /**
+     * @{ Chaos fault-injection provenance (src/chaos/). The injector marks
+     * packets it duplicated, corrupted or forged so that the invariant
+     * oracle can tell endpoint behaviour apart from injected wire noise,
+     * and so the receiving RNIC can model the ICRC check: a corrupted
+     * packet without the crc-evading bit is dropped at ingress, exactly
+     * like a real HCA discarding a packet that fails its end-to-end CRC.
+     * These model injector-side ground truth, not wire fields.
+     */
+    static constexpr std::uint8_t chaosDuplicated = 1u << 0;
+    static constexpr std::uint8_t chaosCorrupted = 1u << 1;
+    static constexpr std::uint8_t chaosForged = 1u << 2;
+    static constexpr std::uint8_t chaosCrcEvading = 1u << 3;
+    std::uint8_t chaosFlags = 0;
+    /** @} */
+
     /** Monotonic id assigned by the fabric when first sent. */
     std::uint64_t wireId = 0;
 

@@ -41,6 +41,12 @@ OdpDriver::raiseFault(TranslationTable& table, std::uint64_t vaddr,
         const double factor = std::max(1.0, congestionProbe_());
         latency = latency * factor;
     }
+    if (latencyChaos_) {
+        // Chaos-injected servicing stalls compose with (not replace) the
+        // congestion model above.
+        const double factor = std::max(1.0, latencyChaos_());
+        latency = latency * factor;
+    }
     const Time resolve_at = events_.now() + latency;
     PendingFault fault;
     fault.resolveAt = resolve_at;

@@ -99,6 +99,19 @@ class OdpDriver
         congestionProbe_ = std::move(probe);
     }
 
+    /**
+     * Install a latency chaos probe (chaos engine): an additional
+     * multiplier (>= 1 to slow, exactly 1.0 to pass through) applied to
+     * fault resolution latency on top of the congestion probe. Kept
+     * separate so fault campaigns compose with the flood congestion
+     * model instead of replacing it.
+     */
+    void
+    setLatencyChaos(std::function<double()> probe)
+    {
+        latencyChaos_ = std::move(probe);
+    }
+
     const DriverStats& stats() const { return stats_; }
     const FaultTiming& timing() const { return timing_; }
 
@@ -121,6 +134,7 @@ class OdpDriver
     std::function<void(TranslationTable&, std::uint64_t)>
         resolutionObserver_;
     std::function<double()> congestionProbe_;
+    std::function<double()> latencyChaos_;
     DriverStats stats_;
 };
 

@@ -83,6 +83,11 @@ MicroBenchmark::run()
         qps_.push_back(cqp);
     }
 
+    // QPs and MRs exist but nothing has been posted: the window where
+    // observers (e.g. the chaos invariant monitor) can attach.
+    if (qpReadyHook_)
+        qpReadyHook_();
+
     // The Fig. 3 loop.
     const Time start = cluster_->now();
     for (std::size_t i = 0; i < config_.numOps; ++i) {

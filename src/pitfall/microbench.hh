@@ -14,6 +14,7 @@
 #define IBSIM_PITFALL_MICROBENCH_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -125,6 +126,17 @@ class MicroBenchmark
     /** Execute the benchmark loop; callable once. */
     MicroBenchResult run();
 
+    /**
+     * Called from run() once every QP is connected and every MR is
+     * registered, before the first post — the attach point for
+     * observers that need the QPs to exist (chaos invariant monitor).
+     */
+    void
+    setQpReadyHook(std::function<void()> hook)
+    {
+        qpReadyHook_ = std::move(hook);
+    }
+
     Cluster& cluster() { return *cluster_; }
     Node& client() { return cluster_->node(0); }
     Node& server() { return cluster_->node(1); }
@@ -144,6 +156,7 @@ class MicroBenchmark
 
   private:
     MicroBenchConfig config_;
+    std::function<void()> qpReadyHook_;
     std::unique_ptr<Cluster> cluster_;
     std::unique_ptr<capture::PacketCapture> capture_;
     std::vector<verbs::QueuePair> qps_;

@@ -88,13 +88,29 @@ Rnic::postSend(QpContext& qp, SendWqe wqe)
 {
     auto it = qps_.find(qp.qpn);
     assert(it != qps_.end());
+    for (const auto& tap : sendPostTaps_)
+        tap(qp, wqe);
     it->second.requester->post(std::move(wqe));
 }
 
 void
 Rnic::postRecv(QpContext& qp, RecvWqe wqe)
 {
+    for (const auto& tap : recvPostTaps_)
+        tap(qp, wqe);
     qp.recvQueue.push_back(wqe);
+}
+
+void
+Rnic::addSendPostTap(SendPostTap tap)
+{
+    sendPostTaps_.push_back(std::move(tap));
+}
+
+void
+Rnic::addRecvPostTap(RecvPostTap tap)
+{
+    recvPostTaps_.push_back(std::move(tap));
 }
 
 void
@@ -115,10 +131,50 @@ Rnic::sendRaw(net::Packet pkt)
     fabric_.send(std::move(pkt));
 }
 
+bool
+Rnic::validPacket(const net::Packet& pkt) const
+{
+    // Largest DMA length any sane workload posts; corrupted length fields
+    // beyond it are discarded instead of driving absurd serializations
+    // and wild responder arithmetic.
+    constexpr std::uint32_t maxSaneLength = 1u << 28;
+
+    if (static_cast<std::uint8_t>(pkt.op) >
+        static_cast<std::uint8_t>(net::Opcode::AtomicResponse)) {
+        return false;  // corrupted opcode
+    }
+    if (pkt.segCount < 1 || pkt.segIndex >= pkt.segCount)
+        return false;
+    if (pkt.length > maxSaneLength || pkt.payload.size() > maxSaneLength)
+        return false;
+    return true;
+}
+
 void
 Rnic::receive(const net::Packet& pkt)
 {
     ++stats_.packetsReceived;
+
+    // ICRC model: corruption injected by the chaos engine fails the
+    // end-to-end CRC and the packet is silently discarded at ingress,
+    // unless the injector explicitly models a CRC-evading flip.
+    if ((pkt.chaosFlags & net::Packet::chaosCorrupted) &&
+        !(pkt.chaosFlags & net::Packet::chaosCrcEvading)) {
+        ++stats_.crcDrops;
+        log::trace(events_.now(), "rnic",
+                   "icrc drop: " + pkt.str());
+        return;
+    }
+
+    // Wire garbage that slipped past the CRC is dropped and counted, not
+    // asserted on: a malformed packet must never crash the device.
+    if (!validPacket(pkt)) {
+        ++stats_.malformedDrops;
+        log::trace(events_.now(), "rnic",
+                   "malformed drop: " + pkt.str());
+        return;
+    }
+
     auto it = qps_.find(pkt.dstQpn);
     if (it == qps_.end()) {
         ++stats_.packetsToUnknownQp;

@@ -13,6 +13,7 @@
 #define IBSIM_RNIC_RNIC_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -40,6 +41,12 @@ struct RnicStats
     std::uint64_t packetsSent = 0;
     std::uint64_t packetsReceived = 0;
     std::uint64_t packetsToUnknownQp = 0;
+
+    /** Ingress packets discarded by the ICRC model (chaos corruption). */
+    std::uint64_t crcDrops = 0;
+
+    /** Ingress packets dropped as malformed (graceful degradation). */
+    std::uint64_t malformedDrops = 0;
 };
 
 /**
@@ -85,6 +92,19 @@ class Rnic : public net::PortHandler
     void postRecv(QpContext& qp, RecvWqe wqe);
     /** @} */
 
+    /**
+     * @{ Passive observers of the post paths (chaos invariant monitor).
+     * Send taps fire on entry to postSend, before the engine assigns a
+     * PSN or pushes a completion, so observers see the pre-post QP state.
+     */
+    using SendPostTap =
+        std::function<void(const QpContext&, const SendWqe&)>;
+    using RecvPostTap =
+        std::function<void(const QpContext&, const RecvWqe&)>;
+    void addSendPostTap(SendPostTap tap);
+    void addRecvPostTap(RecvPostTap tap);
+    /** @} */
+
     /** Fabric ingress. */
     void receive(const net::Packet& pkt) override;
 
@@ -113,6 +133,13 @@ class Rnic : public net::PortHandler
         std::unique_ptr<RcResponder> responder;
     };
 
+    /**
+     * Sanity-check an ingress packet that passed the ICRC model. A real
+     * HCA silently discards wire garbage; asserting on it would turn
+     * injected corruption into a simulator crash.
+     */
+    bool validPacket(const net::Packet& pkt) const;
+
     EventQueue& events_;
     Rng& rng_;
     net::Fabric& fabric_;
@@ -123,6 +150,8 @@ class Rnic : public net::PortHandler
     odp::PageStatusBoard& board_;
     std::map<std::uint32_t, QpRecord> qps_;
     std::map<std::uint32_t, verbs::MemoryRegion*> mrs_;
+    std::vector<SendPostTap> sendPostTaps_;
+    std::vector<RecvPostTap> recvPostTaps_;
     std::uint32_t nextQpn_ = 100;
     RnicStats stats_;
 };

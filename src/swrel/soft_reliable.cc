@@ -19,8 +19,9 @@ encode(std::uint8_t type, std::uint64_t seq,
     std::vector<std::uint8_t> out(headerBytes + payload.size());
     out[0] = type;
     std::memcpy(out.data() + 1, &seq, 8);
-    std::memcpy(out.data() + headerBytes, payload.data(),
-                payload.size());
+    if (!payload.empty())  // ACKs are header-only; data() may be null
+        std::memcpy(out.data() + headerBytes, payload.data(),
+                    payload.size());
     return out;
 }
 
@@ -130,8 +131,16 @@ SoftReliableChannel::retryFired(std::uint64_t seq)
     if (it == pending_.end())
         return;  // acked meanwhile
     if (++it->second.retries > config_.maxRetries) {
+        // Retries exhausted: cancel the retry timer (harmless here since
+        // it just fired, load-bearing if this path is ever reached from
+        // anywhere else), record the failure so acked() cannot claim
+        // success for a lost message, and tell the application.
+        cluster_.events().cancel(it->second.retryTimer);
+        failedSeqs_.insert(seq);
         ++stats_.failed;
         pending_.erase(it);
+        if (failureCallback_)
+            failureCallback_(seq);
         return;
     }
     ++stats_.retransmissions;
@@ -196,7 +205,9 @@ SoftReliableChannel::onSenderCompletion(const verbs::WorkCompletion& wc)
 bool
 SoftReliableChannel::acked(std::uint64_t seq) const
 {
-    return seq < nextSeq_ && pending_.find(seq) == pending_.end();
+    return seq >= 1 && seq < nextSeq_ &&
+           pending_.find(seq) == pending_.end() &&
+           failedSeqs_.count(seq) == 0;
 }
 
 } // namespace swrel

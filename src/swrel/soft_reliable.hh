@@ -18,6 +18,7 @@
 #define IBSIM_SWREL_SOFT_RELIABLE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -78,8 +79,34 @@ class SoftReliableChannel
     /** Whether message @p seq has been acknowledged. */
     bool acked(std::uint64_t seq) const;
 
-    /** Whether every sent message has been acknowledged. */
-    bool allAcked() const { return pending_.empty(); }
+    /** Whether message @p seq exhausted its retries and was given up on. */
+    bool failed(std::uint64_t seq) const { return failedSeqs_.count(seq) > 0; }
+
+    /**
+     * Whether every sent message has been acknowledged. A failed message
+     * is NOT acked — permanent loss must not read as success.
+     */
+    bool allAcked() const { return pending_.empty() && failedSeqs_.empty(); }
+
+    /** Whether every sent message has settled (acked or failed). */
+    bool allSettled() const { return pending_.empty(); }
+
+    /**
+     * Notification of permanent send failure (retries exhausted), fired
+     * once per failed message with its sequence number. Without it the
+     * application's only signal was polling acked() — which used to lie.
+     */
+    void
+    setFailureCallback(std::function<void(std::uint64_t seq)> cb)
+    {
+        failureCallback_ = std::move(cb);
+    }
+
+    /** Messages sent so far (sequence numbers run 1..sentCount()). */
+    std::uint64_t sentCount() const { return nextSeq_ - 1; }
+
+    /** Distinct sequence numbers delivered at the receiver. */
+    std::size_t deliveredSeqCount() const { return deliveredSeqs_.size(); }
 
     /** Payloads delivered at the receiver, in delivery order. */
     const std::vector<std::vector<std::uint8_t>>&
@@ -133,6 +160,8 @@ class SoftReliableChannel
 
     std::uint64_t nextSeq_ = 1;
     std::map<std::uint64_t, PendingMessage> pending_;
+    std::set<std::uint64_t> failedSeqs_;
+    std::function<void(std::uint64_t)> failureCallback_;
     std::set<std::uint64_t> deliveredSeqs_;
     std::vector<std::vector<std::uint8_t>> delivered_;
     SoftChannelStats stats_;

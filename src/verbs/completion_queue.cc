@@ -6,6 +6,14 @@ namespace verbs {
 void
 CompletionQueue::push(const WorkCompletion& wc)
 {
+    if (capacity_ != 0 && queue_.size() >= capacity_) {
+        // CQ overrun: the entry is lost before the application can see
+        // it. Nothing downstream (totals, listener, taps) observes it.
+        ++overflows_;
+        if (overflowHandler_)
+            overflowHandler_(wc);
+        return;
+    }
     queue_.push_back(wc);
     ++total_;
     if (wc.ok()) {
@@ -14,6 +22,8 @@ CompletionQueue::push(const WorkCompletion& wc)
         firstErrorSeen_ = true;
         firstError_ = wc;
     }
+    for (const auto& tap : taps_)
+        tap(wc);
     if (listener_)
         listener_(wc);
 }

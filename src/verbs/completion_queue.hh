@@ -43,6 +43,36 @@ class CompletionQueue
         listener_ = std::move(listener);
     }
 
+    /**
+     * Add a passive observer of every accepted completion, independent of
+     * the single listener slot. Observers (e.g. the chaos invariant
+     * monitor) run before the listener and never consume entries.
+     */
+    void
+    addTap(std::function<void(const WorkCompletion&)> tap)
+    {
+        taps_.push_back(std::move(tap));
+    }
+
+    /**
+     * Cap the pending depth (chaos CQ-overflow pressure). Completions
+     * pushed while @p capacity entries are already pending are LOST —
+     * counted in overflows() and reported to the overflow handler, but
+     * invisible to poll(), the listener, taps and the totals, exactly
+     * like a real CQ overrun losing CQEs. 0 (the default) is unbounded.
+     */
+    void setCapacity(std::size_t capacity) { capacity_ = capacity; }
+
+    /** Completions lost to the capacity cap. */
+    std::uint64_t overflows() const { return overflows_; }
+
+    /** Notified (with the lost entry) on each overflow. */
+    void
+    setOverflowHandler(std::function<void(const WorkCompletion&)> handler)
+    {
+        overflowHandler_ = std::move(handler);
+    }
+
     /** Poll up to @p max entries (all pending if max == 0). */
     std::vector<WorkCompletion> poll(std::size_t max = 0);
 
@@ -64,7 +94,11 @@ class CompletionQueue
 
   private:
     std::function<void(const WorkCompletion&)> listener_;
+    std::vector<std::function<void(const WorkCompletion&)>> taps_;
+    std::function<void(const WorkCompletion&)> overflowHandler_;
     std::deque<WorkCompletion> queue_;
+    std::size_t capacity_ = 0;
+    std::uint64_t overflows_ = 0;
     std::uint64_t total_ = 0;
     std::uint64_t success_ = 0;
     bool firstErrorSeen_ = false;

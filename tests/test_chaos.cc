@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Chaos engine + invariant oracle tests.
+ *
+ * Strategy: run a randomized RC workload (READ/WRITE/SEND mix over ODP
+ * regions) under each fault class and require two things at once — the
+ * workload completes, and the invariant monitor stays clean. Then flip
+ * the setup around: a deliberately broken injector (replaying stale
+ * packets without chaos provenance) and a CQ starved of capacity must
+ * both be *caught* by the oracle, proving the clean results mean
+ * something.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.hh"
+#include "chaos/fault_injector.hh"
+#include "chaos/invariant_monitor.hh"
+#include "cluster/cluster.hh"
+#include "net/loss.hh"
+#include "swrel/soft_reliable.hh"
+
+using namespace ibsim;
+
+namespace {
+
+/**
+ * A randomized RC workload instrumented with the chaos engine and the
+ * invariant monitor. Construction wires everything; run() posts a mixed
+ * op stream and waits for it to drain.
+ */
+struct ChaosWorkload
+{
+    explicit ChaosWorkload(const chaos::ChaosConfig& cfg,
+                           std::uint64_t cluster_seed = 7,
+                           std::size_t op_count = 60)
+        : cluster(rnic::DeviceProfile::connectX4(), 2, cluster_seed),
+          engine(cluster.events(), cfg), monitor(cluster.fabric()),
+          ops(op_count)
+    {
+        acq = &a.createCq();
+        bcq = &b.createCq();
+        auto [qa, qb] = cluster.connectRc(a, *acq, b, *bcq);
+        aqp = qa;
+        bqp = qb;
+
+        src = a.alloc(bufBytes);
+        dst = b.alloc(bufBytes);
+        a.touch(src, bufBytes);
+        b.touch(dst, bufBytes);
+        amr = &a.registerMemory(src, bufBytes, verbs::AccessFlags::odp());
+        bmr = &b.registerMemory(dst, bufBytes, verbs::AccessFlags::odp());
+
+        engine.install(cluster.fabric());
+        monitor.watch(a.rnic(), aqp.context());
+        monitor.watch(b.rnic(), bqp.context());
+
+        // Enough RECVs for every op to be a SEND.
+        for (std::size_t i = 0; i < ops; ++i)
+            bqp.postRecv(dst + recvBase + i * slotBytes, bmr->lkey(),
+                         slotBytes, 1000 + i);
+    }
+
+    /** Post the op mix and wait for the requester to drain. */
+    bool
+    run(bool wait_on_totals = true)
+    {
+        Rng& rng = cluster.rng();
+        for (std::size_t i = 0; i < ops; ++i) {
+            const std::uint64_t off = (i % 64) * slotBytes;
+            const auto len = static_cast<std::uint32_t>(
+                rng.uniformInt(16, 256));
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                aqp.postWrite(src + off, amr->lkey(), dst + off,
+                              bmr->rkey(), len, i + 1);
+                break;
+              case 1:
+                aqp.postRead(src + readBase + off, amr->lkey(),
+                             dst + readBase + off, bmr->rkey(), len,
+                             i + 1);
+                break;
+              default:
+                aqp.postSend(src + sendBase + off, amr->lkey(), len,
+                             i + 1);
+                break;
+            }
+            cluster.advance(rng.uniformTime(Time::us(1), Time::us(20)));
+        }
+        const bool ok = cluster.runUntil(
+            [&] {
+                if (aqp.outstanding() != 0)
+                    return false;
+                return !wait_on_totals ||
+                       acq->totalCompletions() >= ops;
+            },
+            cluster.now() + Time::sec(600));
+        monitor.finalCheck();
+        return ok;
+    }
+
+    static constexpr std::uint64_t bufBytes = 64 * 1024;
+    static constexpr std::uint64_t slotBytes = 256;
+    static constexpr std::uint64_t readBase = 16 * 1024;
+    static constexpr std::uint64_t sendBase = 32 * 1024;
+    static constexpr std::uint64_t recvBase = 32 * 1024;
+
+    Cluster cluster;
+    chaos::ChaosEngine engine;
+    chaos::InvariantMonitor monitor;
+    std::size_t ops;
+    Node& a = cluster.node(0);
+    Node& b = cluster.node(1);
+    verbs::CompletionQueue* acq = nullptr;
+    verbs::CompletionQueue* bcq = nullptr;
+    verbs::QueuePair aqp;
+    verbs::QueuePair bqp;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    verbs::MemoryRegion* amr = nullptr;
+    verbs::MemoryRegion* bmr = nullptr;
+};
+
+chaos::ChaosConfig
+everythingConfig(std::uint64_t seed)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = seed;
+    cfg.dropRate = 0.02;
+    cfg.dupRate = 0.05;
+    cfg.reorderRate = 0.05;
+    cfg.corruptRate = 0.03;
+    cfg.delayRate = 0.2;
+    cfg.forgedNakRate = 0.01;
+    cfg.flapPeriod = Time::ms(5);
+    cfg.flapDown = Time::us(200);
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Determinism: the whole point of seeding every chaos decision through
+// exp::SeedStream is bit-identical replay.
+// ---------------------------------------------------------------------
+
+TEST(ChaosDeterminism, SameSeedsSameTraceAndReport)
+{
+    auto once = [] {
+        ChaosWorkload w(everythingConfig(42), /*cluster_seed=*/7);
+        w.run();
+        return std::make_tuple(w.monitor.traceHash(),
+                               w.monitor.packetsObserved(),
+                               w.monitor.violationCount(),
+                               w.monitor.report(),
+                               w.engine.injector().stats());
+    };
+    const auto first = once();
+    const auto second = once();
+    EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+    EXPECT_EQ(std::get<1>(first), std::get<1>(second));
+    EXPECT_EQ(std::get<2>(first), std::get<2>(second));
+    EXPECT_EQ(std::get<3>(first), std::get<3>(second));
+    const auto& s1 = std::get<4>(first);
+    const auto& s2 = std::get<4>(second);
+    EXPECT_EQ(s1.packetsSeen, s2.packetsSeen);
+    EXPECT_EQ(s1.delayed, s2.delayed);
+    EXPECT_EQ(s1.reordered, s2.reordered);
+    EXPECT_EQ(s1.duplicated, s2.duplicated);
+    EXPECT_EQ(s1.corrupted, s2.corrupted);
+    EXPECT_EQ(s1.dropped, s2.dropped);
+    EXPECT_EQ(s1.naksForged, s2.naksForged);
+}
+
+TEST(ChaosDeterminism, DifferentChaosSeedDifferentSchedule)
+{
+    auto hash = [](std::uint64_t chaos_seed) {
+        ChaosWorkload w(everythingConfig(chaos_seed), /*cluster_seed=*/7);
+        w.run();
+        return w.monitor.traceHash();
+    };
+    EXPECT_NE(hash(1), hash(2));
+}
+
+// ---------------------------------------------------------------------
+// Each fault class in isolation: the workload completes and the oracle
+// stays clean (the transport absorbed the fault correctly).
+// ---------------------------------------------------------------------
+
+TEST(ChaosFaults, DelayJitterIsAbsorbed)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 3;
+    cfg.delayRate = 1.0;
+    cfg.delayMin = Time::us(1);
+    cfg.delayMax = Time::us(200);
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().delayed, 0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, ReorderingRecoversViaGoBackN)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 4;
+    cfg.reorderRate = 0.3;
+    cfg.reorderMaxHold = Time::us(300);
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().reordered, 0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, DuplicatesAreIdempotent)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 5;
+    cfg.dupRate = 0.5;
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().duplicated, 0u);
+    // A duplicate RC delivery consuming a second RECV or completing a WR
+    // twice would trip recv-/send-exactly-once here.
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, DropsRecoverViaTimeout)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 6;
+    cfg.dropRate = 0.05;
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().dropped, 0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, CorruptionFailsIcrcAndActsAsLoss)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 7;
+    cfg.corruptRate = 0.1;
+    cfg.corruptEvadeCrc = 0.0;
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().corrupted, 0u);
+    EXPECT_GT(w.a.rnic().stats().crcDrops + w.b.rnic().stats().crcDrops,
+              0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, CrcEvadingCorruptionNeverCrashes)
+{
+    // Mangled packets reach the protocol engines. The transport may
+    // legitimately error the QP (e.g. a corrupted rkey draws a remote
+    // access NAK), but it must degrade gracefully: no assert, no wild
+    // responder arithmetic, every posted WR still completes (possibly
+    // flushed).
+    chaos::ChaosConfig cfg;
+    cfg.seed = 8;
+    cfg.corruptRate = 0.15;
+    cfg.corruptEvadeCrc = 1.0;
+    ChaosWorkload w(cfg);
+    const bool completed = w.run();
+    EXPECT_TRUE(completed || w.aqp.inError());
+    EXPECT_GT(w.engine.injector().stats().corrupted, 0u);
+}
+
+TEST(ChaosFaults, LinkFlapWindowsAreSurvived)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 9;
+    cfg.flapPeriod = Time::ms(2);
+    cfg.flapDown = Time::us(100);
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().flapDropped, 0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, ForgedNaksOnlyCauseBenignReplays)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 10;
+    cfg.forgedNakRate = 0.05;
+    ChaosWorkload w(cfg);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.injector().stats().naksForged, 0u);
+    // A forged PSN-sequence NAK provokes a spurious go-back-N replay;
+    // the replay must stay inside the posted window (retrans-window) and
+    // must not double-complete anything.
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, OdpLatencySpikesAreAbsorbed)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 11;
+    ChaosWorkload w(cfg);
+    w.engine.addOdpLatencySpikes(w.a.driver(), 0.5, 8.0);
+    w.engine.addOdpLatencySpikes(w.b.driver(), 0.5, 8.0);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.stats().odpSpikes, 0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+TEST(ChaosFaults, InvalidationStormIsSurvived)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 12;
+    ChaosWorkload w(cfg);
+    w.engine.startInvalidationStorm(w.b.driver(), w.bmr->table(), w.dst,
+                                    ChaosWorkload::bufBytes,
+                                    Time::us(100),
+                                    /*pages_per_burst=*/2,
+                                    /*bursts=*/50);
+    EXPECT_TRUE(w.run());
+    EXPECT_GT(w.engine.stats().pagesInvalidated, 0u);
+    EXPECT_TRUE(w.monitor.clean()) << w.monitor.report();
+}
+
+// ---------------------------------------------------------------------
+// Oracle sensitivity: a clean verdict is only meaningful if broken
+// behaviour is actually flagged.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * A deliberately broken injector: every fifth request packet triggers a
+ * replay of an older request WITHOUT chaos provenance flags — to the
+ * oracle this is indistinguishable from the endpoint emitting the same
+ * fresh PSN twice, which RC must never do.
+ */
+struct ReplayHook : net::FaultHook
+{
+    std::vector<net::Packet> history;
+    std::size_t requests = 0;
+
+    void
+    processPacket(const net::Packet& pkt, Time,
+                  std::vector<Delivery>& out) override
+    {
+        out.push_back({pkt, Time()});
+        if (!chaos::isRequestOpcode(pkt.op) || pkt.retransmission)
+            return;
+        history.push_back(pkt);
+        if (++requests % 5 == 0)
+            out.push_back({history[history.size() / 2], Time::us(1)});
+    }
+};
+
+} // namespace
+
+TEST(ChaosOracle, BrokenInjectorIsCaught)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 13;
+    ChaosWorkload w(cfg);
+    ReplayHook replay;
+    w.cluster.fabric().setFaultHook(&replay);  // displaces the engine
+    w.run();
+    EXPECT_GT(w.monitor.violationCount(), 0u);
+    EXPECT_NE(w.monitor.report().find("fresh-once"), std::string::npos)
+        << w.monitor.report();
+}
+
+TEST(ChaosOracle, CqOverflowShowsUpAsMissingCompletions)
+{
+    chaos::ChaosConfig cfg;
+    cfg.seed = 14;
+    ChaosWorkload w(cfg);
+    // Nobody polls acq in this harness, so a capacity of 4 loses every
+    // completion beyond the first four.
+    w.engine.applyCqPressure(*w.acq, 4);
+    w.run(/*wait_on_totals=*/false);
+    EXPECT_GT(w.acq->overflows(), 0u);
+    EXPECT_GT(w.monitor.violationCount(), 0u);
+    EXPECT_NE(w.monitor.report().find("send-completion-missing"),
+              std::string::npos)
+        << w.monitor.report();
+}
+
+// ---------------------------------------------------------------------
+// Stage unit checks.
+// ---------------------------------------------------------------------
+
+TEST(ChaosStages, LinkFlapWindowArithmetic)
+{
+    chaos::LinkFlapStage flap({}, Time::ms(10), Time::ms(2),
+                              /*phase=*/Time::ms(1));
+    EXPECT_TRUE(flap.down(Time::ms(1)));       // cycle start
+    EXPECT_TRUE(flap.down(Time::ms(2.5)));     // inside the window
+    EXPECT_FALSE(flap.down(Time::ms(3.5)));    // past it
+    EXPECT_TRUE(flap.down(Time::ms(11.5)));    // next cycle
+    EXPECT_FALSE(flap.down(Time::us(500)));    // before the first phase
+}
+
+TEST(ChaosStages, PacketFilterTargeting)
+{
+    chaos::PacketFilter filter;
+    filter.srcQpn = 100;
+    filter.requestsOnly = true;
+
+    net::Packet req;
+    req.op = net::Opcode::WriteRequest;
+    req.srcQpn = 100;
+    EXPECT_TRUE(filter.matches(req));
+
+    net::Packet otherQp = req;
+    otherQp.srcQpn = 101;
+    EXPECT_FALSE(filter.matches(otherQp));
+
+    net::Packet ack = req;
+    ack.op = net::Opcode::Ack;
+    EXPECT_FALSE(filter.matches(ack));
+}
+
+// ---------------------------------------------------------------------
+// Legacy LossModel compatibility: the loss model is stage zero of the
+// pipeline and keeps working with a FaultHook installed.
+// ---------------------------------------------------------------------
+
+TEST(ChaosCompat, LossModelRunsBeforeTheHook)
+{
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 17);
+    chaos::FaultInjector injector(1);
+    cluster.fabric().setFaultHook(&injector);
+    cluster.fabric().setLossModel(
+        std::make_unique<net::BernoulliLoss>(1.0));
+
+    Node& a = cluster.node(0);
+    Node& b = cluster.node(1);
+    auto& acq = a.createCq();
+    auto& bcq = b.createCq();
+    verbs::QpConfig uc;
+    uc.transport = verbs::Transport::Uc;
+    auto [aqp, bqp] = cluster.connectRc(a, acq, b, bcq, uc);
+    (void)bqp;
+    const auto src = a.alloc(4096);
+    const auto dst = b.alloc(4096);
+    a.touch(src, 4096);
+    auto& amr = a.registerMemory(src, 4096, verbs::AccessFlags::pinned());
+    auto& bmr = b.registerMemory(dst, 4096, verbs::AccessFlags::pinned());
+
+    aqp.postWrite(src, amr.lkey(), dst, bmr.rkey(), 64, 1);
+    cluster.drain(Time::ms(10));
+
+    // Stage zero dropped the packet before the hook ever saw it.
+    EXPECT_EQ(cluster.fabric().totalDropped(),
+              cluster.fabric().totalSent());
+    EXPECT_EQ(injector.stats().packetsSeen, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: swrel failure visibility under total loss, cross-checked
+// by the oracle's swrel accounting.
+// ---------------------------------------------------------------------
+
+TEST(ChaosSwrel, RetryExhaustionIsVisibleAndConsistent)
+{
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 19);
+    chaos::InvariantMonitor monitor(cluster.fabric());
+    swrel::SoftChannelConfig config;
+    config.retryTimeout = Time::us(200);
+    config.maxRetries = 2;
+    swrel::SoftReliableChannel channel(cluster, cluster.node(0),
+                                       cluster.node(1), config);
+    cluster.fabric().setLossModel(
+        std::make_unique<net::BernoulliLoss>(1.0));
+
+    std::vector<std::uint64_t> failures;
+    channel.setFailureCallback(
+        [&](std::uint64_t seq) { failures.push_back(seq); });
+
+    const std::uint64_t seq = channel.send({42});
+    cluster.drain(Time::sec(1));
+
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0], seq);
+    EXPECT_TRUE(channel.failed(seq));
+    EXPECT_FALSE(channel.acked(seq));
+    EXPECT_TRUE(channel.allSettled());
+    EXPECT_FALSE(channel.allAcked());
+
+    monitor.checkSwrel(channel);
+    EXPECT_TRUE(monitor.clean()) << monitor.report();
+}
+
+TEST(ChaosSwrel, CleanDeliveryPassesTheOracle)
+{
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2, 21);
+    chaos::InvariantMonitor monitor(cluster.fabric());
+    swrel::SoftReliableChannel channel(cluster, cluster.node(0),
+                                       cluster.node(1));
+    for (std::uint8_t i = 0; i < 10; ++i)
+        channel.send(std::vector<std::uint8_t>(8, i));
+    ASSERT_TRUE(cluster.runUntil([&] { return channel.allAcked(); },
+                                 Time::sec(1)));
+    monitor.checkSwrel(channel);
+    EXPECT_TRUE(monitor.clean()) << monitor.report();
+}

@@ -173,9 +173,12 @@ TEST(SoftReliable, GivesUpAfterMaxRetries)
     cluster.fabric().setLossModel(
         std::make_unique<net::BernoulliLoss>(1.0));
 
-    channel.send({9});
+    const std::uint64_t seq = channel.send({9});
     cluster.drain(Time::sec(1));
     EXPECT_EQ(channel.stats().failed, 1u);
     EXPECT_EQ(channel.stats().retransmissions, 3u);
-    EXPECT_TRUE(channel.allAcked());  // nothing pending anymore
+    EXPECT_TRUE(channel.allSettled());  // nothing pending anymore...
+    EXPECT_FALSE(channel.allAcked());   // ...but the message was lost
+    EXPECT_TRUE(channel.failed(seq));
+    EXPECT_FALSE(channel.acked(seq));
 }

@@ -24,11 +24,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/suite.hh"
 #include "capture/trace_format.hh"
+#include "chaos/chaos_engine.hh"
+#include "chaos/invariant_monitor.hh"
 #include "exp/bench_main.hh"
 #include "exp/seed_stream.hh"
 #include "pitfall/detectors.hh"
@@ -49,6 +52,10 @@ struct ExploreOptions
     std::uint64_t seed = 0;
     bool trace = false;
     bool detect = false;
+
+    /** --chaos-*: wire fault campaign layered onto the probe. */
+    chaos::ChaosConfig chaos;
+    bool chaosEnabled = false;
 };
 
 void
@@ -77,7 +84,12 @@ usage(const char* argv0)
         "  [--ops N] [--qps N] [--size BYTES] [--interval-us U]\n"
         "  [--mode none|server|client|both] [--device cx3|cx4|cx5|cx6]\n"
         "  [--cack N] [--rnr-ms F] [--trials N] [--seed N]\n"
-        "  [--trace] [--detect]\n",
+        "  [--trace] [--detect]\n"
+        "\n"
+        "chaos flags (explore mode; rates are per-packet):\n"
+        "  [--chaos-seed N] [--chaos-drop R] [--chaos-dup R]\n"
+        "  [--chaos-reorder R] [--chaos-corrupt R] [--chaos-evade R]\n"
+        "  [--chaos-delay-us U] [--chaos-nak R] [--chaos-flap-us U]\n",
         argv0, argv0);
 }
 
@@ -145,6 +157,34 @@ parseExplore(const std::vector<std::string>& args, ExploreOptions& opts)
             opts.trace = true;
         } else if (arg == "--detect") {
             opts.detect = true;
+        } else if (arg == "--chaos-seed") {
+            opts.chaos.seed = std::strtoull(next(), nullptr, 10);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-drop") {
+            opts.chaos.dropRate = std::strtod(next(), nullptr);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-dup") {
+            opts.chaos.dupRate = std::strtod(next(), nullptr);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-reorder") {
+            opts.chaos.reorderRate = std::strtod(next(), nullptr);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-corrupt") {
+            opts.chaos.corruptRate = std::strtod(next(), nullptr);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-evade") {
+            opts.chaos.corruptEvadeCrc = std::strtod(next(), nullptr);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-delay-us") {
+            opts.chaos.delayRate = 1.0;
+            opts.chaos.delayMax = Time::us(std::strtod(next(), nullptr));
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-nak") {
+            opts.chaos.forgedNakRate = std::strtod(next(), nullptr);
+            opts.chaosEnabled = true;
+        } else if (arg == "--chaos-flap-us") {
+            opts.chaos.flapDown = Time::us(std::strtod(next(), nullptr));
+            opts.chaosEnabled = true;
         } else {
             std::fprintf(stderr, "unknown explore option: %s\n",
                          arg.c_str());
@@ -179,9 +219,35 @@ runExplore(const std::vector<std::string>& args, const char* argv0)
 
     Accumulator exec;
     std::uint64_t timeouts = 0;
+    // Chaos seeds are derived per trial from their own stream so each
+    // trial's fault schedule is disjoint yet replayable from the flags.
+    const exp::SeedStream chaosSeeds("odp_bench_cli/chaos",
+                                     opts.chaos.seed);
+
     for (std::size_t t = 0; t < opts.trials; ++t) {
         MicroBenchmark bench(opts.config, opts.profile,
                              seeds.trialSeed(0, t));
+        std::unique_ptr<chaos::ChaosEngine> engine;
+        std::unique_ptr<chaos::InvariantMonitor> monitor;
+        if (opts.chaosEnabled) {
+            chaos::ChaosConfig cfg = opts.chaos;
+            cfg.seed = chaosSeeds.trialSeed(0, t);
+            engine = std::make_unique<chaos::ChaosEngine>(
+                bench.cluster().events(), cfg);
+            engine->install(bench.cluster().fabric());
+            monitor = std::make_unique<chaos::InvariantMonitor>(
+                bench.cluster().fabric());
+            // QPs only exist once run() has connected them; watch from
+            // the hook it fires right before the first post.
+            bench.setQpReadyHook([&bench, &monitor] {
+                auto& client = bench.cluster().node(0).rnic();
+                auto& server = bench.cluster().node(1).rnic();
+                for (auto* qp : client.allQps())
+                    monitor->watch(client, *qp);
+                for (auto* qp : server.allQps())
+                    monitor->watch(server, *qp);
+            });
+        }
         auto r = bench.run();
         exec.add(r.executionTime.toSec());
         timeouts += r.timeouts;
@@ -197,6 +263,27 @@ runExplore(const std::vector<std::string>& args, const char* argv0)
                     static_cast<unsigned long long>(r.seqNaksReceived),
                     static_cast<unsigned long long>(r.updateFailures),
                     static_cast<unsigned long long>(r.totalPackets));
+
+        if (opts.chaosEnabled) {
+            const auto& cs = engine->injector().stats();
+            std::printf("  chaos: dropped=%llu dup=%llu reorder=%llu "
+                        "corrupt=%llu delayed=%llu flap=%llu "
+                        "forged_naks=%llu\n"
+                        "  oracle: %s  trace_hash=%016llx\n",
+                        static_cast<unsigned long long>(
+                            cs.dropped + cs.flapDropped),
+                        static_cast<unsigned long long>(cs.duplicated),
+                        static_cast<unsigned long long>(cs.reordered),
+                        static_cast<unsigned long long>(cs.corrupted),
+                        static_cast<unsigned long long>(cs.delayed),
+                        static_cast<unsigned long long>(cs.flapDropped),
+                        static_cast<unsigned long long>(cs.naksForged),
+                        monitor->clean()
+                            ? "clean"
+                            : monitor->report().c_str(),
+                        static_cast<unsigned long long>(
+                            monitor->traceHash()));
+        }
 
         if (opts.trace && bench.packetCapture()) {
             std::printf("\n%s\n",
@@ -234,7 +321,7 @@ isExploreFlag(const std::string& arg)
     for (const char* f : flags)
         if (arg == f)
             return true;
-    return false;
+    return arg.rfind("--chaos-", 0) == 0;
 }
 
 } // namespace
