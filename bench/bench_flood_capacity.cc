@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Flood-scale capacity of the simulator datapath itself.
+ *
+ * The paper's packet-flood pitfall (Sec. V) only shows its teeth at
+ * scale — hundreds of QPs blindly retransmitting — and ROADMAP's north
+ * star is running such scenarios "as fast as the hardware allows". This
+ * bench drives the client-side-ODP flood through thousands of QPs spread
+ * over many nodes and reports *wall-clock* ns per simulated packet: the
+ * end-to-end cost of the per-packet wire path (fabric routing tables,
+ * RNIC steering, trace gating, event kernel). Like simcore_micro it is
+ * the one kind of bench whose numbers legitimately vary across machines;
+ * the simulated packet counts per cell are seed-deterministic.
+ *
+ * The `oracle` axis additionally audits the run with the chaos invariant
+ * monitor attached mid-run via InvariantMonitor::watchAll() — the
+ * late-attach path that lets long-running services be checked without
+ * restarting them. Its cells must stay at violations = 0.
+ */
+
+#include "suite.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "chaos/invariant_monitor.hh"
+#include "cluster/cluster.hh"
+#include "pitfall/microbench.hh"
+
+using namespace ibsim;
+
+namespace ibsim {
+namespace bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct CapacityResult
+{
+    std::uint64_t packets = 0;
+    double wallNs = 0;
+    std::uint64_t violations = 0;
+    bool completed = false;
+};
+
+/**
+ * One capacity trial: `qps` QPs split over `pairs` client/server node
+ * pairs, every QP issuing 100-B READs into its own client-side-ODP page
+ * (each response DMA faults, provoking the flood machinery). Two posting
+ * waves; with `audit` the invariant monitor late-attaches between them,
+ * so wave 1 is pre-attach history and wave 2 is fully checked.
+ */
+CapacityResult
+runCapacityTrial(std::size_t qps, std::size_t pairs,
+                 std::size_t ops_per_wave, bool audit, std::uint64_t seed)
+{
+    const std::size_t qpsPerPair = qps / pairs;
+    constexpr std::uint64_t bytesPerQp = 4096;  // one ODP page per QP
+
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2 * pairs, seed);
+    struct Pair
+    {
+        Node* client;
+        verbs::CompletionQueue* cq;
+        std::uint64_t src, dst;
+        std::uint32_t lkey, rkey;
+    };
+    std::vector<Pair> setup(pairs);
+    std::vector<verbs::QueuePair> flows;
+    flows.reserve(qps);
+
+    for (std::size_t p = 0; p < pairs; ++p) {
+        Node& client = cluster.node(2 * p);
+        Node& server = cluster.node(2 * p + 1);
+        auto& ccq = client.createCq();
+        auto& scq = server.createCq();
+        const std::uint64_t bytes = qpsPerPair * bytesPerQp;
+        const std::uint64_t src = server.alloc(bytes);
+        const std::uint64_t dst = client.alloc(bytes);
+        auto& smr = server.registerMemory(src, bytes,
+                                          verbs::AccessFlags::pinned());
+        auto& cmr = client.registerMemory(dst, bytes,
+                                          verbs::AccessFlags::odp());
+        setup[p] = {&client, &ccq, src, dst, cmr.lkey(), smr.rkey()};
+        for (std::size_t q = 0; q < qpsPerPair; ++q) {
+            auto [cqp, sqp] = cluster.connectRc(
+                client, ccq, server, scq,
+                pitfall::MicroBenchConfig::ucxDefaultConfig());
+            flows.push_back(cqp);
+        }
+    }
+
+    const auto postWave = [&](std::size_t wave) {
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            const Pair& pr = setup[i / qpsPerPair];
+            const std::size_t q = i % qpsPerPair;
+            for (std::size_t op = 0; op < ops_per_wave; ++op) {
+                const std::uint64_t off = q * bytesPerQp +
+                                          (wave * ops_per_wave + op) * 128;
+                flows[i].postRead(pr.dst + off, pr.lkey, pr.src + off,
+                                  pr.rkey, 100,
+                                  wave * ops_per_wave + op + 1);
+            }
+        }
+    };
+    std::vector<verbs::CompletionQueue*> cqs;
+    for (const Pair& pr : setup)
+        cqs.push_back(pr.cq);
+    const auto completions = [&] {
+        std::uint64_t done = 0;
+        for (auto* cq : cqs)
+            done += cq->totalCompletions();
+        return done;
+    };
+    const std::uint64_t perWave = qps * ops_per_wave;
+
+    // The monitor's egress tap hashes every packet from construction on,
+    // so only audit cells instantiate it — oracle=off measures the bare
+    // datapath.
+    std::unique_ptr<chaos::InvariantMonitor> monitor;
+
+    const auto start = Clock::now();
+    postWave(0);
+    cluster.runUntil([&] { return completions() >= perWave; },
+                     Time::sec(600));
+    if (audit) {
+        monitor = std::make_unique<chaos::InvariantMonitor>(
+            cluster.fabric());
+        monitor->watchAll(cluster);  // late attach, traffic already flowed
+    }
+    postWave(1);
+    CapacityResult result;
+    result.completed = cluster.runUntil(
+        [&] { return completions() >= 2 * perWave; }, Time::sec(600));
+    const auto stop = Clock::now();
+
+    if (monitor)
+        monitor->finalCheck();
+    result.packets = cluster.fabric().totalSent();
+    result.wallNs =
+        static_cast<double>(std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(stop - start)
+                                .count());
+    result.violations = monitor ? monitor->violationCount() : 0;
+    return result;
+}
+
+} // namespace
+
+void
+registerFloodCapacity(exp::Registry& registry)
+{
+    registry.add(
+        {"flood_capacity",
+         "wall-clock datapath capacity at flood scale (4096 QPs)",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(3, 1);
+             const std::size_t opsPerWave = 2;
+             constexpr std::size_t pairs = 4;
+
+             // Like simcore_micro, this bench always leaves a
+             // machine-readable record for CI trend tracking.
+             exp::RunContext local = ctx;
+             if (local.jsonPath.empty() &&
+                 std::getenv("IBSIM_JSON") == nullptr) {
+                 local.jsonPath = "BENCH_simcore.json";
+             }
+
+             exp::Sweep sweep;
+             sweep.axis("qps", {1024.0, 4096.0}, 0)
+                 .axis("oracle", std::vector<std::string>{"off", "late"});
+
+             auto result = local.runner("flood_capacity").run(
+                 sweep, trials,
+                 [opsPerWave](const exp::Cell& cell, std::uint64_t seed) {
+                     const auto qps =
+                         static_cast<std::size_t>(cell.num("qps"));
+                     const bool audit = cell.valueIndex("oracle") == 1;
+                     const CapacityResult r = runCapacityTrial(
+                         qps, pairs, opsPerWave, audit, seed);
+                     const double perPkt =
+                         r.packets > 0
+                             ? r.wallNs / static_cast<double>(r.packets)
+                             : 0.0;
+                     return exp::Metrics{}
+                         .set("ns_per_packet", perPkt)
+                         .set("packets_per_s",
+                              perPkt > 0 ? 1e9 / perPkt : 0.0)
+                         .set("packets_k",
+                              static_cast<double>(r.packets) / 1e3)
+                         .set("violations",
+                              static_cast<double>(r.violations))
+                         .set("completed", r.completed ? 1.0 : 0.0);
+                 });
+
+             auto sink = local.sink("flood_capacity");
+             sink.table(
+                 "Flood-scale datapath capacity (wall clock; numbers "
+                 "vary by machine)",
+                 result,
+                 {exp::col("ns_per_packet", exp::Stat::Mean, 1,
+                           "ns/pkt"),
+                  exp::col("packets_per_s", exp::Stat::Mean, 0,
+                           "pkts/s"),
+                  exp::col("packets_k", exp::Stat::Mean, 1, "packets_k"),
+                  exp::col("violations", exp::Stat::Mean, 0,
+                           "violations"),
+                  exp::col("completed", exp::Stat::Mean, 2,
+                           "completed")});
+             sink.note(
+                 "Client-side-ODP flood over many nodes: the wall-clock "
+                 "cost of the per-packet\nwire path at production scale. "
+                 "oracle=late cells audit the run with\n"
+                 "InvariantMonitor::watchAll() attached mid-run (late "
+                 "attach) and must stay at\nviolations = 0.");
+         }});
+}
+
+} // namespace bench
+} // namespace ibsim

@@ -24,6 +24,7 @@ registerAllBenches(exp::Registry& registry)
     registerAblationOdpLatency(registry);
     registerSimcoreMicro(registry);
     registerChaosProbe(registry);
+    registerFloodCapacity(registry);
 }
 
 } // namespace bench

@@ -33,6 +33,7 @@ void registerAblationReliability(exp::Registry& registry);
 void registerAblationOdpLatency(exp::Registry& registry);
 void registerSimcoreMicro(exp::Registry& registry);
 void registerChaosProbe(exp::Registry& registry);
+void registerFloodCapacity(exp::Registry& registry);
 
 /** Register the full suite, in paper order. */
 void registerAllBenches(exp::Registry& registry);

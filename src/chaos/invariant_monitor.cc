@@ -3,6 +3,7 @@
 #include <string>
 
 #include "chaos/fault_injector.hh"
+#include "cluster/cluster.hh"
 #include "swrel/soft_reliable.hh"
 #include "verbs/completion_queue.hh"
 
@@ -44,10 +45,16 @@ InvariantMonitor::InvariantMonitor(net::Fabric& fabric) : fabric_(fabric)
 void
 InvariantMonitor::watch(rnic::Rnic& rnic, rnic::QpContext& qp)
 {
-    FlowState& st = flows_[{rnic.lid(), qp.qpn}];
+    const FlowKey key{rnic.lid(), qp.qpn};
+    const bool fresh = flows_.find(key) == flows_.end();
+    FlowState& st = flows_[key];
     st.rnic = &rnic;
     st.qp = &qp;
-    st.lastNextPsn = qp.nextPsn;
+    if (fresh) {
+        st.lastNextPsn = qp.nextPsn;
+        st.attachPsn = qp.nextPsn;
+        st.lateAttach = qp.nextPsn != 0 || !qp.outstanding.empty();
+    }
 
     if (tappedRnics_.insert(&rnic).second) {
         const std::uint16_t lid = rnic.lid();
@@ -65,6 +72,16 @@ InvariantMonitor::watch(rnic::Rnic& rnic, rnic::QpContext& qp)
         qp.cq->addTap([this, lid](const verbs::WorkCompletion& wc) {
             onCompletion(lid, wc);
         });
+    }
+}
+
+void
+InvariantMonitor::watchAll(Cluster& cluster)
+{
+    for (std::size_t i = 0; i < cluster.nodeCount(); ++i) {
+        rnic::Rnic& rnic = cluster.node(i).rnic();
+        for (rnic::QpContext* qp : rnic.allQps())
+            watch(rnic, *qp);
     }
 }
 
@@ -121,6 +138,11 @@ InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
         const std::uint32_t span =
             pkt.op == net::Opcode::ReadRequest ? pkt.segCount : 1;
         const std::uint32_t last = (pkt.psn + span - 1) & 0xffffff;
+        // Late attach: PSNs below the attach snapshot were posted before
+        // we were watching, so their first (fresh) transmission is not
+        // ours to judge.
+        if (st->lateAttach && rnic::psnDiff(pkt.psn, st->attachPsn) < 0)
+            return;
         if (!pkt.retransmission) {
             for (std::uint32_t i = 0; i < span; ++i) {
                 const std::uint32_t p = (pkt.psn + i) & 0xffffff;
@@ -210,6 +232,10 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
     if (st == nullptr)
         return;
     if (wc.opcode == verbs::WrOpcode::Recv) {
+        // Late attach: a completion for a RECV we never saw posted
+        // belongs to the pre-attach era, not to the oracle.
+        if (st->lateAttach && st->recvPostedByWr[wc.wrId] == 0)
+            return;
         const std::uint64_t done = ++st->recvCompletedByWr[wc.wrId];
         if (done > st->recvPostedByWr[wc.wrId]) {
             emit("recv-exactly-once", lid, wc.qpn,
@@ -219,6 +245,10 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
         }
         return;
     }
+    // Late attach: likewise for sends posted before watching started —
+    // skipping them keeps C1 and F1 judging observed posts only.
+    if (st->lateAttach && st->sendPostedByWr[wc.wrId] == 0)
+        return;
     ++st->sendCompleted;
     const std::uint64_t done = ++st->sendCompletedByWr[wc.wrId];
     if (done > st->sendPostedByWr[wc.wrId]) {

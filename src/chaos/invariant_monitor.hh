@@ -55,6 +55,8 @@
 
 namespace ibsim {
 
+class Cluster;
+
 namespace swrel {
 class SoftReliableChannel;
 } // namespace swrel
@@ -90,8 +92,23 @@ class InvariantMonitor
     /**
      * Watch one QP: wire checks for its flow, post/completion accounting
      * via the RNIC and CQ taps (installed once per RNIC / CQ).
+     *
+     * Late attach is supported: watching a QP that already carried
+     * traffic snapshots its nextPsn, and wire/completion events that can
+     * only be judged with pre-attach knowledge (fresh transmissions of
+     * pre-attach PSNs, completions of pre-attach WRs) are excluded from
+     * bookkeeping instead of reported as violations. This lets
+     * long-running services be audited mid-run.
      */
     void watch(rnic::Rnic& rnic, rnic::QpContext& qp);
+
+    /**
+     * Watch every QP on every node of @p cluster — the one-call attach
+     * for cluster-scale runs (e.g. auditing the 4096-QP flood-capacity
+     * bench). Safe to call mid-run (late attach per QP, see watch())
+     * and to call repeatedly as QPs are added.
+     */
+    void watchAll(Cluster& cluster);
 
     /**
      * End-of-run check for drained workloads: every posted send WR on
@@ -142,6 +159,16 @@ class InvariantMonitor
         /** P1 state: qp->nextPsn observed at the previous post. */
         std::uint32_t lastNextPsn = 0;
         bool anyPostSeen = false;
+
+        /**
+         * @{ Late-attach state: nextPsn snapshotted at watch() time, and
+         * whether the QP had prior traffic then. PSNs below attachPsn
+         * were posted unobserved, so the fresh-wire checks skip them,
+         * and completions of WRs never seen posted are ignored.
+         */
+        std::uint32_t attachPsn = 0;
+        bool lateAttach = false;
+        /** @} */
 
         /** W1 state: fresh request PSNs seen on the wire. */
         std::set<std::uint32_t> freshSeen;

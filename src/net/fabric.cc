@@ -8,23 +8,39 @@
 namespace ibsim {
 namespace net {
 
+namespace {
+
+log::Component traceFabric("fabric");
+
+} // namespace
+
 Fabric::Fabric(EventQueue& events, Rng& rng, LinkConfig config)
     : events_(events), rng_(rng), config_(config),
       loss_(std::make_unique<NoLoss>())
 {
 }
 
+Fabric::PortRecord&
+Fabric::port(std::uint16_t lid)
+{
+    if (lid >= ports_.size())
+        ports_.resize(static_cast<std::size_t>(lid) + 1);
+    return ports_[lid];
+}
+
 void
 Fabric::attach(std::uint16_t lid, PortHandler& handler)
 {
-    assert(ports_.find(lid) == ports_.end() && "duplicate LID");
-    ports_[lid] = &handler;
+    PortRecord& record = port(lid);
+    assert(record.handler == nullptr && "duplicate LID");
+    record.handler = &handler;
 }
 
 void
 Fabric::detach(std::uint16_t lid)
 {
-    ports_.erase(lid);
+    if (lid < ports_.size())
+        ports_[lid].handler = nullptr;
 }
 
 void
@@ -54,8 +70,8 @@ Fabric::send(Packet pkt)
         ++totalDropped_;
         for (const auto& tap : taps_)
             tap(pkt, true);
-        log::trace(events_.now(), "fabric",
-                   pkt.str() + "  ** DROPPED **");
+        IBSIM_TRACE(traceFabric, events_.now(),
+                    pkt.str() + "  ** DROPPED **");
         return pkt.wireId;
     }
 
@@ -66,8 +82,8 @@ Fabric::send(Packet pkt)
             ++totalDropped_;
             for (const auto& tap : taps_)
                 tap(pkt, true);
-            log::trace(events_.now(), "fabric",
-                       pkt.str() + "  ** DROPPED (chaos) **");
+            IBSIM_TRACE(traceFabric, events_.now(),
+                        pkt.str() + "  ** DROPPED (chaos) **");
             return pkt.wireId;
         }
         const std::uint64_t id = pkt.wireId;
@@ -92,14 +108,14 @@ Fabric::send(Packet pkt)
 void
 Fabric::deliver(Packet pkt, Time extra_delay)
 {
-    auto it = ports_.find(pkt.dstLid);
-    const bool unknownLid = (it == ports_.end());
+    PortRecord& dst = port(pkt.dstLid);
+    const bool unknownLid = (dst.handler == nullptr);
 
     for (const auto& tap : taps_)
         tap(pkt, unknownLid);
 
-    log::trace(events_.now(), "fabric",
-               pkt.str() + (unknownLid ? "  ** DROPPED **" : ""));
+    IBSIM_TRACE(traceFabric, events_.now(),
+                pkt.str() + (unknownLid ? "  ** DROPPED **" : ""));
 
     if (unknownLid) {
         ++totalDropped_;
@@ -111,24 +127,27 @@ Fabric::deliver(Packet pkt, Time extra_delay)
     // contend. This matters for the flood experiments, where the wire is
     // actually busy. Chaos extra delay models switch-internal queueing,
     // so it lands between egress serialization and ingress arrival.
+    // Note: port() for the source LID can grow the table and invalidate
+    // `dst`, so the handler is read out first.
+    PortHandler* handler = dst.handler;
     const Time serialization = Time::sec(
         static_cast<double>(pkt.wireSize()) / config_.bandwidthBytesPerSec);
-    Time& egress = egressFreeAt_[pkt.srcLid];
-    const Time start = std::max(events_.now(), egress);
-    egress = start + serialization;
-    Time& ingress = ingressFreeAt_[pkt.dstLid];
+    PortRecord& src = port(pkt.srcLid);
+    const Time start = std::max(events_.now(), src.egressFreeAt);
+    src.egressFreeAt = start + serialization;
+    Time& ingress = ports_[pkt.dstLid].ingressFreeAt;
     const Time arrive =
-        std::max(egress + config_.latency + extra_delay, ingress);
+        std::max(src.egressFreeAt + config_.latency + extra_delay, ingress);
     ingress = arrive + serialization;
     const Time deliverAt = arrive + config_.perPacketOverhead;
-
-    PortHandler* handler = it->second;
 
     // Park the packet in the pool and capture only its slot index: the
     // delivery closure stays within the event kernel's inline capacity
     // (no allocation per hop) and the slot's payload buffer is recycled.
+    // The payload moves — no byte copy, and for the empty-payload flood
+    // packets no allocator traffic at all.
     const std::uint32_t slot = pool_.acquire();
-    pool_.at(slot) = pkt;  // copy-assign reuses the slot's payload capacity
+    pool_.at(slot) = std::move(pkt);
 
     auto deliver_cb = [this, handler, slot] {
         ++totalDelivered_;

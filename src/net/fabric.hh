@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -128,10 +127,32 @@ class Fabric
      */
     void deliver(Packet pkt, Time extra_delay);
 
+    /**
+     * Per-LID state of the datapath, one cache line per hop: the
+     * attached handler plus the egress/ingress link-busy times that used
+     * to live in two extra std::maps. LIDs are small, fabric-assigned
+     * integers, so the table is a dense vector indexed by LID — the
+     * per-packet lookups in send()/deliver() are two array indexings
+     * instead of three red-black-tree walks. Detaching a port clears
+     * only the handler; the link-busy times survive re-attachment,
+     * exactly like the old always-growing std::map entries did.
+     */
+    struct PortRecord
+    {
+        PortHandler* handler = nullptr;
+        /** Egress link of this LID is serializing until then. */
+        Time egressFreeAt;
+        /** Ingress link of this LID is serializing until then. */
+        Time ingressFreeAt;
+    };
+
+    /** The record for @p lid, growing the table on first touch. */
+    PortRecord& port(std::uint16_t lid);
+
     EventQueue& events_;
     Rng& rng_;
     LinkConfig config_;
-    std::map<std::uint16_t, PortHandler*> ports_;
+    std::vector<PortRecord> ports_;
     std::unique_ptr<LossModel> loss_;
     FaultHook* hook_ = nullptr;
     /**
@@ -147,14 +168,6 @@ class Fabric
     std::uint64_t totalDelivered_ = 0;
     std::uint64_t totalDropped_ = 0;
     std::uint64_t totalInjected_ = 0;
-    /**
-     * Per-port serialization state: packets from one source port queue
-     * behind each other on its egress link, and packets into one
-     * destination port queue on its ingress link. Distinct port pairs do
-     * not contend (a non-blocking switch).
-     */
-    std::map<std::uint16_t, Time> egressFreeAt_;
-    std::map<std::uint16_t, Time> ingressFreeAt_;
 };
 
 } // namespace net

@@ -1,5 +1,6 @@
 #include "net/packet.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace ibsim {
@@ -78,9 +79,22 @@ Packet::wireSize() const
     return size;
 }
 
+namespace {
+
+std::atomic<std::uint64_t> strCallCount{0};
+
+} // namespace
+
+std::uint64_t
+Packet::strCalls()
+{
+    return strCallCount.load(std::memory_order_relaxed);
+}
+
 std::string
 Packet::str() const
 {
+    strCallCount.fetch_add(1, std::memory_order_relaxed);
     char buf[160];
     std::string extra;
     if (op == Opcode::Nak)

@@ -135,6 +135,14 @@ struct Packet
 
     /** One-line rendering for traces. */
     std::string str() const;
+
+    /**
+     * Process-wide count of str() invocations. str() is the expensive
+     * per-packet formatter, and it must never run on a trace-disabled
+     * hot path; the datapath tests assert this counter stays flat across
+     * such runs.
+     */
+    static std::uint64_t strCalls();
 };
 
 } // namespace net

@@ -7,9 +7,10 @@
  * payload vector churn when the closure died. The pool keeps a stable
  * vector of Packet slots and recycles them: acquire() hands out a slot
  * index (stable across pool growth, so delivery callbacks capture just
- * the index), release() returns it with the payload vector's capacity
- * intact. In steady state a flood trial reuses the same handful of slots
- * for millions of deliveries without touching the allocator.
+ * the index), release() returns it for reuse. Packets are *moved* into
+ * their slot, so data payloads change hands without a byte copy and the
+ * empty-payload packets of a flood (requests, ACKs, NAKs) recycle slots
+ * with zero allocator traffic for millions of deliveries.
  */
 
 #ifndef IBSIM_NET_PACKET_POOL_HH

@@ -9,6 +9,12 @@
 namespace ibsim {
 namespace odp {
 
+namespace {
+
+log::Component traceOdp("odp");
+
+} // namespace
+
 OdpDriver::OdpDriver(EventQueue& events, Rng& rng,
                      mem::AddressSpace& memory, FaultTiming timing)
     : events_(events), rng_(rng), memory_(memory), timing_(timing)
@@ -54,9 +60,9 @@ OdpDriver::raiseFault(TranslationTable& table, std::uint64_t vaddr,
         fault.callbacks.push_back(std::move(on_resolved));
     pending_.emplace(key, std::move(fault));
 
-    log::trace(events_.now(), "odp",
-               "page fault raised page=" + std::to_string(page_idx) +
-                   " resolves in " + latency.str());
+    IBSIM_TRACE(traceOdp, events_.now(),
+                "page fault raised page=" + std::to_string(page_idx) +
+                    " resolves in " + latency.str());
 
     events_.schedule(resolve_at,
                      [this, &table, page_idx] { resolve(table, page_idx); });
@@ -78,8 +84,9 @@ OdpDriver::resolve(TranslationTable& table, std::uint64_t page_idx)
     table.mapPage(vaddr);
     ++stats_.faultsResolved;
 
-    log::trace(events_.now(), "odp",
-               "page fault resolved page=" + std::to_string(page_idx));
+    IBSIM_TRACE(traceOdp, events_.now(),
+                "page fault resolved page=" +
+                    std::to_string(page_idx));
 
     auto it = pending_.find({&table, page_idx});
     assert(it != pending_.end());
@@ -100,10 +107,10 @@ OdpDriver::invalidate(TranslationTable& table, std::uint64_t vaddr)
                           [this, &table, vaddr] {
                               memory_.releasePage(vaddr);
                               table.invalidatePage(vaddr);
-                              log::trace(events_.now(), "odp",
-                                         "page invalidated page=" +
-                                             std::to_string(
-                                                 mem::pageOf(vaddr)));
+                              IBSIM_TRACE(traceOdp, events_.now(),
+                                          "page invalidated page=" +
+                                              std::to_string(
+                                                  mem::pageOf(vaddr)));
                           });
 }
 

@@ -7,6 +7,12 @@
 namespace ibsim {
 namespace odp {
 
+namespace {
+
+log::Component traceFlood("flood");
+
+} // namespace
+
 PageStatusBoard::PageStatusBoard(EventQueue& events, Rng& rng,
                                  FloodQuirkConfig config)
     : events_(events), rng_(rng), config_(config)
@@ -75,10 +81,10 @@ PageStatusBoard::onPageMapped(const TranslationTable& table,
             ++stats_.updateFailures;
             w.stale = true;
             slowQueue_.push_back(key);
-            log::trace(events_.now(), "flood",
-                       "update failure qpn=" +
-                           std::to_string(std::get<2>(key)) + " page=" +
-                           std::to_string(page_idx));
+            IBSIM_TRACE(traceFlood, events_.now(),
+                        "update failure qpn=" +
+                            std::to_string(std::get<2>(key)) +
+                            " page=" + std::to_string(page_idx));
         } else {
             ++stats_.promptUpdates;
             waiters_.erase(key);
@@ -113,9 +119,9 @@ PageStatusBoard::serviceFired()
     slowQueue_.pop_back();
     waiters_.erase(key);
     ++stats_.slowRefreshes;
-    log::trace(events_.now(), "flood",
-               "slow refresh landed qpn=" +
-                   std::to_string(std::get<2>(key)));
+    IBSIM_TRACE(traceFlood, events_.now(),
+                "slow refresh landed qpn=" +
+                    std::to_string(std::get<2>(key)));
 
     if (!slowQueue_.empty()) {
         // Service slows down quadratically with the whole active-waiter

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Open-addressing flat hash table keyed by 32-bit handles.
+ *
+ * The RNIC's steering structures (rkey -> MemoryRegion) are consulted on
+ * every DMA of every packet, which made their std::map red-black-tree
+ * walks a measurable slice of the per-packet wire path. Real RNICs keep
+ * such state in flat steering caches; this is the software equivalent: a
+ * power-of-two slot array with linear probing, one array access plus a
+ * short scan per lookup, no per-node allocations and no pointer chasing.
+ *
+ * Keys are arbitrary non-zero 32-bit values (0 is reserved as the empty
+ * sentinel; RNIC keys and QPNs are never 0). Erase uses tombstones so
+ * probe chains stay intact; tombstones are reclaimed on rehash.
+ */
+
+#ifndef IBSIM_RNIC_FLAT_TABLE_HH
+#define IBSIM_RNIC_FLAT_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ibsim {
+namespace rnic {
+
+template <typename Value>
+class FlatKeyMap
+{
+  public:
+    FlatKeyMap() { rehash(initialCapacity); }
+
+    /** Insert @p key -> @p value; the key must not already be present. */
+    void
+    insert(std::uint32_t key, Value value)
+    {
+        assert(key != emptyKey && "key 0 is reserved");
+        assert(key != tombstoneKey && "key 0xffffffff is reserved");
+        assert(find(key) == nullptr && "duplicate key");
+        if ((occupied_ + 1) * 10 > slots_.size() * 7) {
+            // A mostly-tombstone table (register/deregister churn) is
+            // rehashed in place, which reclaims the tombstones; only a
+            // genuinely full table doubles. Keeps churn from growing
+            // the array without bound.
+            std::size_t target = slots_.size();
+            while ((size_ + 1) * 2 > target)
+                target *= 2;
+            rehash(target);
+        }
+        Slot& slot = probeForInsert(key);
+        if (slot.key != tombstoneKey)
+            ++occupied_;  // tombstone reuse keeps the load count flat
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+    }
+
+    /** Remove @p key if present; returns whether it was. */
+    bool
+    erase(std::uint32_t key)
+    {
+        Slot* slot = probeFor(key);
+        if (slot == nullptr)
+            return false;
+        slot->key = tombstoneKey;
+        slot->value = Value{};
+        --size_;
+        return true;
+    }
+
+    /** Pointer to the mapped value, or nullptr. */
+    Value*
+    find(std::uint32_t key)
+    {
+        Slot* slot = probeFor(key);
+        return slot == nullptr ? nullptr : &slot->value;
+    }
+
+    const Value*
+    find(std::uint32_t key) const
+    {
+        return const_cast<FlatKeyMap*>(this)->find(key);
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Slot-array capacity (tests: growth behaviour). */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    static constexpr std::uint32_t emptyKey = 0;
+    static constexpr std::uint32_t tombstoneKey = 0xffffffffu;
+    static constexpr std::size_t initialCapacity = 16;
+
+    struct Slot
+    {
+        std::uint32_t key = emptyKey;
+        Value value{};
+    };
+
+    static std::size_t
+    indexFor(std::uint32_t key, std::size_t mask)
+    {
+        // Fibonacci multiplicative hash: sequential QPNs / rkeys spread
+        // across the table instead of clustering one probe chain.
+        return (key * 2654435761u) & mask;
+    }
+
+    Slot*
+    probeFor(std::uint32_t key)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = indexFor(key, mask);; i = (i + 1) & mask) {
+            Slot& slot = slots_[i];
+            if (slot.key == key)
+                return &slot;
+            if (slot.key == emptyKey)
+                return nullptr;
+        }
+    }
+
+    /** First reusable slot on the probe chain (tombstone or empty). */
+    Slot&
+    probeForInsert(std::uint32_t key)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = indexFor(key, mask);; i = (i + 1) & mask) {
+            Slot& slot = slots_[i];
+            if (slot.key == emptyKey || slot.key == tombstoneKey)
+                return slot;
+        }
+    }
+
+    void
+    rehash(std::size_t capacity)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(capacity, Slot{});
+        occupied_ = size_;
+        for (Slot& slot : old) {
+            if (slot.key == emptyKey || slot.key == tombstoneKey)
+                continue;
+            Slot& fresh = probeForInsert(slot.key);
+            fresh.key = slot.key;
+            fresh.value = slot.value;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;      ///< live entries
+    std::size_t occupied_ = 0;  ///< live entries + tombstones
+};
+
+} // namespace rnic
+} // namespace ibsim
+
+#endif // IBSIM_RNIC_FLAT_TABLE_HH

@@ -15,6 +15,8 @@ namespace {
 /** The IBA encoding where an RNR retry budget of 7 means "infinite". */
 constexpr std::uint8_t infiniteRnrRetry = 7;
 
+log::Component traceRc("rc");
+
 } // namespace
 
 RcRequester::RcRequester(Rnic& rnic, QpContext& qp) : rnic_(rnic), qp_(qp)
@@ -119,6 +121,8 @@ RcRequester::post(SendWqe wqe)
         --qp_.episodeDamsLeft;
     }
 
+    if (qp_.outstanding.empty())
+        rnic_.qpBecameActive();
     qp_.outstanding.push_back(wqe);
     SendWqe& stored = qp_.outstanding.back();
 
@@ -354,9 +358,10 @@ RcRequester::timeoutFired()
 
     ++qp_.retryCount;
     ++qp_.stats.timeouts;
-    log::trace(rnic_.events().now(), "rc",
-               "qpn=" + std::to_string(qp_.qpn) + " transport timeout #" +
-                   std::to_string(qp_.retryCount));
+    IBSIM_TRACE(traceRc, rnic_.events().now(),
+                "qpn=" + std::to_string(qp_.qpn) +
+                    " transport timeout #" +
+                    std::to_string(qp_.retryCount));
 
     if (qp_.retryCount > qp_.config.cretry) {
         flushAll(verbs::WcStatus::RetryExcErr);
@@ -406,9 +411,9 @@ RcRequester::enterRnrWait(Time responder_min_delay)
     qp_.rnrTimer =
         rnic_.events().scheduleAfter(wait, [this] { rnrWaitFired(); });
 
-    log::trace(rnic_.events().now(), "rc",
-               "qpn=" + std::to_string(qp_.qpn) + " RNR wait " +
-                   wait.str());
+    IBSIM_TRACE(traceRc, rnic_.events().now(),
+                "qpn=" + std::to_string(qp_.qpn) + " RNR wait " +
+                    wait.str());
 }
 
 void
@@ -611,6 +616,8 @@ RcRequester::completeHead()
 {
     SendWqe head = qp_.outstanding.front();
     qp_.outstanding.pop_front();
+    if (qp_.outstanding.empty())
+        rnic_.qpBecameIdle();
 
     verbs::WorkCompletion wc;
     wc.wrId = head.wrId;
@@ -657,6 +664,8 @@ RcRequester::flushAll(verbs::WcStatus status)
     }
     qp_.dammingEpisode = false;
 
+    if (!qp_.outstanding.empty())
+        rnic_.qpBecameIdle();
     bool first = true;
     while (!qp_.outstanding.empty()) {
         SendWqe head = qp_.outstanding.front();
@@ -687,9 +696,9 @@ RcRequester::flushAll(verbs::WcStatus status)
     }
 
     qp_.errorState = true;
-    log::trace(rnic_.events().now(), "rc",
-               "qpn=" + std::to_string(qp_.qpn) + " moved to error: " +
-                   verbs::wcStatusName(status));
+    IBSIM_TRACE(traceRc, rnic_.events().now(),
+                "qpn=" + std::to_string(qp_.qpn) + " moved to error: " +
+                    verbs::wcStatusName(status));
 }
 
 } // namespace rnic

@@ -11,6 +11,12 @@
 namespace ibsim {
 namespace rnic {
 
+namespace {
+
+log::Component traceRc("rc");
+
+} // namespace
+
 RcResponder::RcResponder(Rnic& rnic, QpContext& qp) : rnic_(rnic), qp_(qp)
 {
 }
@@ -38,10 +44,10 @@ RcResponder::onRequest(const net::Packet& pkt)
         // PSN-sequence-error NAK provoked by a *clean* request
         // (DESIGN.md #4).
         ++qp_.stats.dammedDrops;
-        log::trace(rnic_.events().now(), "rc",
-                   "qpn=" + std::to_string(qp_.qpn) +
-                       " dammed request dropped psn=" +
-                       std::to_string(pkt.psn));
+        IBSIM_TRACE(traceRc, rnic_.events().now(),
+                    "qpn=" + std::to_string(qp_.qpn) +
+                        " dammed request dropped psn=" +
+                        std::to_string(pkt.psn));
         return;
     }
 

@@ -9,6 +9,12 @@
 namespace ibsim {
 namespace rnic {
 
+namespace {
+
+log::Component traceRnic("rnic");
+
+} // namespace
+
 Rnic::Rnic(EventQueue& events, Rng& rng, net::Fabric& fabric,
            std::uint16_t lid, DeviceProfile profile,
            mem::AddressSpace& memory, odp::OdpDriver& driver,
@@ -32,27 +38,37 @@ Rnic::~Rnic()
 void
 Rnic::registerMr(verbs::MemoryRegion& mr)
 {
-    assert(mrs_.find(mr.rkey()) == mrs_.end());
-    mrs_[mr.rkey()] = &mr;
+    mrs_.insert(mr.rkey(), &mr);
 }
 
 void
 Rnic::deregisterMr(std::uint32_t key)
 {
     mrs_.erase(key);
+    if (mruKey_ == key) {
+        mruKey_ = 0;
+        mruMr_ = nullptr;
+    }
 }
 
 verbs::MemoryRegion*
 Rnic::findMr(std::uint32_t key)
 {
-    auto it = mrs_.find(key);
-    return it == mrs_.end() ? nullptr : it->second;
+    if (key == mruKey_)
+        return mruMr_;
+    verbs::MemoryRegion** mr = mrs_.find(key);
+    if (mr == nullptr)
+        return nullptr;
+    mruKey_ = key;
+    mruMr_ = *mr;
+    return *mr;
 }
 
 QpContext&
 Rnic::createQp(verbs::CompletionQueue& cq, verbs::QpConfig config)
 {
-    const std::uint32_t qpn = nextQpn_++;
+    const std::uint32_t qpn =
+        firstQpn + static_cast<std::uint32_t>(qps_.size());
     QpRecord record;
     record.ctx = std::make_unique<QpContext>();
     record.ctx->qpn = qpn;
@@ -60,9 +76,8 @@ Rnic::createQp(verbs::CompletionQueue& cq, verbs::QpConfig config)
     record.ctx->cq = &cq;
     record.requester = std::make_unique<RcRequester>(*this, *record.ctx);
     record.responder = std::make_unique<RcResponder>(*this, *record.ctx);
-    auto [it, inserted] = qps_.emplace(qpn, std::move(record));
-    assert(inserted);
-    return *it->second.ctx;
+    qps_.push_back(std::move(record));
+    return *qps_.back().ctx;
 }
 
 void
@@ -76,21 +91,52 @@ Rnic::connectQp(QpContext& qp, std::uint16_t dst_lid, std::uint32_t dst_qpn)
     qp.expectedPsn = 0;
 }
 
+Rnic::QpRecord*
+Rnic::qpRecord(std::uint32_t qpn)
+{
+    if (qpn < firstQpn)
+        return nullptr;
+    const std::size_t index = qpn - firstQpn;
+    if (index >= qps_.size() || qps_[index].ctx == nullptr)
+        return nullptr;
+    return &qps_[index];
+}
+
+void
+Rnic::destroyQp(std::uint32_t qpn)
+{
+    QpRecord* record = qpRecord(qpn);
+    if (record == nullptr)
+        return;
+    QpContext& qp = *record->ctx;
+    if (qp.timerArmed)
+        events_.cancel(qp.retransmitTimer);
+    if (qp.inRnrWait)
+        events_.cancel(qp.rnrTimer);
+    if (qp.clientRexmitActive)
+        events_.cancel(qp.clientRexmitTimer);
+    if (qp.active())
+        qpBecameIdle();
+    record->requester.reset();
+    record->responder.reset();
+    record->ctx.reset();
+}
+
 QpContext*
 Rnic::findQp(std::uint32_t qpn)
 {
-    auto it = qps_.find(qpn);
-    return it == qps_.end() ? nullptr : it->second.ctx.get();
+    QpRecord* record = qpRecord(qpn);
+    return record == nullptr ? nullptr : record->ctx.get();
 }
 
 void
 Rnic::postSend(QpContext& qp, SendWqe wqe)
 {
-    auto it = qps_.find(qp.qpn);
-    assert(it != qps_.end());
+    QpRecord* record = qpRecord(qp.qpn);
+    assert(record != nullptr);
     for (const auto& tap : sendPostTaps_)
         tap(qp, wqe);
-    it->second.requester->post(std::move(wqe));
+    record->requester->post(std::move(wqe));
 }
 
 void
@@ -161,8 +207,7 @@ Rnic::receive(const net::Packet& pkt)
     if ((pkt.chaosFlags & net::Packet::chaosCorrupted) &&
         !(pkt.chaosFlags & net::Packet::chaosCrcEvading)) {
         ++stats_.crcDrops;
-        log::trace(events_.now(), "rnic",
-                   "icrc drop: " + pkt.str());
+        IBSIM_TRACE(traceRnic, events_.now(), "icrc drop: " + pkt.str());
         return;
     }
 
@@ -170,50 +215,38 @@ Rnic::receive(const net::Packet& pkt)
     // asserted on: a malformed packet must never crash the device.
     if (!validPacket(pkt)) {
         ++stats_.malformedDrops;
-        log::trace(events_.now(), "rnic",
-                   "malformed drop: " + pkt.str());
+        IBSIM_TRACE(traceRnic, events_.now(),
+                    "malformed drop: " + pkt.str());
         return;
     }
 
-    auto it = qps_.find(pkt.dstQpn);
-    if (it == qps_.end()) {
+    QpRecord* record = qpRecord(pkt.dstQpn);
+    if (record == nullptr) {
         ++stats_.packetsToUnknownQp;
         return;
     }
-    QpRecord& record = it->second;
 
     switch (pkt.op) {
       case net::Opcode::ReadRequest:
       case net::Opcode::WriteRequest:
       case net::Opcode::Send:
       case net::Opcode::AtomicRequest:
-        record.responder->onRequest(pkt);
+        record->responder->onRequest(pkt);
         break;
       case net::Opcode::ReadResponse:
       case net::Opcode::AtomicResponse:
-        record.requester->onReadResponse(pkt);
+        record->requester->onReadResponse(pkt);
         break;
       case net::Opcode::Ack:
-        record.requester->onAck(pkt);
+        record->requester->onAck(pkt);
         break;
       case net::Opcode::Nak:
-        record.requester->onNak(pkt);
+        record->requester->onNak(pkt);
         break;
       case net::Opcode::RnrNak:
-        record.requester->onRnrNak(pkt);
+        record->requester->onRnrNak(pkt);
         break;
     }
-}
-
-std::size_t
-Rnic::activeQpCount() const
-{
-    std::size_t n = 0;
-    for (const auto& [qpn, record] : qps_) {
-        if (record.ctx->active())
-            ++n;
-    }
-    return n;
 }
 
 std::vector<QpContext*>
@@ -221,8 +254,10 @@ Rnic::allQps()
 {
     std::vector<QpContext*> out;
     out.reserve(qps_.size());
-    for (auto& [qpn, record] : qps_)
-        out.push_back(record.ctx.get());
+    for (auto& record : qps_) {
+        if (record.ctx != nullptr)
+            out.push_back(record.ctx.get());
+    }
     return out;
 }
 

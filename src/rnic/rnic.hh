@@ -12,9 +12,9 @@
 #ifndef IBSIM_RNIC_RNIC_HH
 #define IBSIM_RNIC_RNIC_HH
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -23,6 +23,7 @@
 #include "odp/odp_driver.hh"
 #include "odp/page_status_board.hh"
 #include "rnic/device_profile.hh"
+#include "rnic/flat_table.hh"
 #include "rnic/qp_context.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
@@ -85,6 +86,13 @@ class Rnic : public net::PortHandler
     void connectQp(QpContext& qp, std::uint16_t dst_lid,
                    std::uint32_t dst_qpn);
 
+    /**
+     * Destroy a QP: cancel its timers and free its slot. Packets still
+     * addressed to the QPN count as packetsToUnknownQp afterwards, like
+     * a real HCA dropping traffic to a destroyed QP.
+     */
+    void destroyQp(std::uint32_t qpn);
+
     QpContext* findQp(std::uint32_t qpn);
 
     /** @{ Work request entry points (called via verbs::QueuePair). */
@@ -117,8 +125,25 @@ class Rnic : public net::PortHandler
     /** Egress for pre-addressed packets (UD datagrams). */
     void sendRaw(net::Packet pkt);
 
-    /** QPs with requester work in flight (drives timeout load scaling). */
-    std::size_t activeQpCount() const;
+    /**
+     * QPs with requester work in flight (drives timeout load scaling).
+     * O(1): the RC requesters report idle/active transitions, so arming
+     * a retransmit timer no longer scans every QP on the device.
+     */
+    std::size_t activeQpCount() const { return activeQps_; }
+
+    /**
+     * @{ Active-QP accounting, called by RcRequester when a QP's
+     * outstanding queue transitions empty <-> non-empty.
+     */
+    void qpBecameActive() { ++activeQps_; }
+    void
+    qpBecameIdle()
+    {
+        assert(activeQps_ > 0);
+        --activeQps_;
+    }
+    /** @} */
 
     /** All QPs on this RNIC (harness convenience). */
     std::vector<QpContext*> allQps();
@@ -132,6 +157,16 @@ class Rnic : public net::PortHandler
         std::unique_ptr<RcRequester> requester;
         std::unique_ptr<RcResponder> responder;
     };
+
+    /**
+     * The record for @p qpn, or nullptr. QPNs are assigned sequentially
+     * from firstQpn by this device, so the table is a dense vector
+     * indexed by qpn - firstQpn — the per-packet steering lookup in
+     * receive() is a bounds check plus an array indexing, like the
+     * QP-state tables real RNIC steering caches resolve against.
+     * Destroyed QPs leave a null slot (QPNs are not reused).
+     */
+    QpRecord* qpRecord(std::uint32_t qpn);
 
     /**
      * Sanity-check an ingress packet that passed the ICRC model. A real
@@ -148,11 +183,29 @@ class Rnic : public net::PortHandler
     mem::AddressSpace& memory_;
     odp::OdpDriver& driver_;
     odp::PageStatusBoard& board_;
-    std::map<std::uint32_t, QpRecord> qps_;
-    std::map<std::uint32_t, verbs::MemoryRegion*> mrs_;
+
+    /** First QPN this device hands out (qps_[i] holds firstQpn + i). */
+    static constexpr std::uint32_t firstQpn = 100;
+    std::vector<QpRecord> qps_;
+
+    /**
+     * rkey/lkey -> region, flat open-addressing table. Keys are
+     * node-assigned and sparse, so this is hashed rather than dense.
+     */
+    FlatKeyMap<verbs::MemoryRegion*> mrs_;
+
+    /**
+     * One-entry MRU cache in front of mrs_: DMA streams hit the same
+     * region for long runs of packets (every response of a large READ,
+     * every op of a flood), so most findMr() calls short-circuit to one
+     * compare. Invalidated on deregistration.
+     */
+    std::uint32_t mruKey_ = 0;
+    verbs::MemoryRegion* mruMr_ = nullptr;
+
     std::vector<SendPostTap> sendPostTaps_;
     std::vector<RecvPostTap> recvPostTaps_;
-    std::uint32_t nextQpn_ = 100;
+    std::size_t activeQps_ = 0;
     RnicStats stats_;
 };
 

@@ -1,9 +1,9 @@
 #include "simcore/log.hh"
 
-#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <set>
+#include <vector>
 
 namespace ibsim {
 namespace log {
@@ -11,11 +11,13 @@ namespace log {
 namespace {
 
 // The component-tag registry is process-global, and concurrent trials
-// (exp::TrialRunner workers) call enabled() on every trace site.  A
-// lock-free "is anything enabled at all" fast path keeps the common case
-// (tracing off) at one relaxed atomic load; the set itself is guarded by
-// a mutex for the rare enable/disable and the traced slow path.
+// (exp::TrialRunner workers) call enabled() on every trace site.  The
+// registered Component handles cache their enabled state in an atomic
+// flag (one relaxed load on the hot path); the string-keyed set backs the
+// legacy API and seeds the flag of late-constructed handles.  Both are
+// guarded by a mutex on the rare enable/disable/construct paths.
 std::atomic<bool> anyEnabled{false};
+std::atomic<std::uint64_t> emitted{0};
 
 std::mutex&
 registryMutex()
@@ -31,13 +33,39 @@ enabledSet()
     return s;
 }
 
+std::vector<Component*>&
+components()
+{
+    static std::vector<Component*> v;
+    return v;
+}
+
+/** Caller must hold registryMutex(). */
+bool
+enabledLocked(const std::string& component)
+{
+    const auto& s = enabledSet();
+    return s.count("*") > 0 || s.count(component) > 0;
+}
+
 } // namespace
+
+Component::Component(const char* tag) : tag_(tag)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    components().push_back(this);
+    flag_.store(enabledLocked(tag), std::memory_order_relaxed);
+}
 
 void
 enable(const std::string& component)
 {
     std::lock_guard<std::mutex> lock(registryMutex());
     enabledSet().insert(component);
+    for (Component* c : components()) {
+        if (component == "*" || component == c->tag_)
+            c->flag_.store(true, std::memory_order_relaxed);
+    }
     anyEnabled.store(true, std::memory_order_release);
 }
 
@@ -46,6 +74,8 @@ disableAll()
 {
     std::lock_guard<std::mutex> lock(registryMutex());
     enabledSet().clear();
+    for (Component* c : components())
+        c->flag_.store(false, std::memory_order_relaxed);
     anyEnabled.store(false, std::memory_order_release);
 }
 
@@ -55,20 +85,44 @@ enabled(const std::string& component)
     if (!anyEnabled.load(std::memory_order_acquire))
         return false;
     std::lock_guard<std::mutex> lock(registryMutex());
-    const auto& s = enabledSet();
-    return s.count("*") > 0 || s.count(component) > 0;
+    return enabledLocked(component);
 }
+
+namespace {
+
+void
+emitLine(Time when, const char* component, const std::string& message)
+{
+    emitted.fetch_add(1, std::memory_order_relaxed);
+    // One fprintf per line keeps lines from interleaving across threads.
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "[%12s] %-8s %s\n",
+                  when.str().c_str(), component, message.c_str());
+    std::fputs(buf, stderr);
+}
+
+} // namespace
 
 void
 trace(Time when, const std::string& component, const std::string& message)
 {
     if (!enabled(component))
         return;
-    // One fprintf per line keeps lines from interleaving across threads.
-    char buf[512];
-    std::snprintf(buf, sizeof(buf), "[%12s] %-8s %s\n",
-                  when.str().c_str(), component.c_str(), message.c_str());
-    std::fputs(buf, stderr);
+    emitLine(when, component.c_str(), message);
+}
+
+void
+trace(Time when, const Component& component, const std::string& message)
+{
+    if (!component.enabled())
+        return;
+    emitLine(when, component.tag(), message);
+}
+
+std::uint64_t
+linesEmitted()
+{
+    return emitted.load(std::memory_order_relaxed);
 }
 
 } // namespace log

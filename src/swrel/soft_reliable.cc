@@ -3,10 +3,14 @@
 #include <cassert>
 #include <cstring>
 
+#include "simcore/log.hh"
+
 namespace ibsim {
 namespace swrel {
 
 namespace {
+
+log::Component traceSwrel("swrel");
 
 /** Per-message buffer slot: header plus the largest payload. */
 constexpr std::uint64_t slotBytes = 512;
@@ -138,12 +142,18 @@ SoftReliableChannel::retryFired(std::uint64_t seq)
         cluster_.events().cancel(it->second.retryTimer);
         failedSeqs_.insert(seq);
         ++stats_.failed;
+        IBSIM_TRACE(traceSwrel, cluster_.events().now(),
+                    "seq=" + std::to_string(seq) +
+                        " failed after retry exhaustion");
         pending_.erase(it);
         if (failureCallback_)
             failureCallback_(seq);
         return;
     }
     ++stats_.retransmissions;
+    IBSIM_TRACE(traceSwrel, cluster_.events().now(),
+                "seq=" + std::to_string(seq) + " retry #" +
+                    std::to_string(it->second.retries));
     transmit(seq);
     armRetry(seq);
 }

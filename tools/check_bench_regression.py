@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Soft wall-clock regression gate for the bench trend files.
+
+Compares a freshly produced JSONL bench file (the same format
+exp::TrialRunner emits, one row per sweep cell) against a committed
+baseline file, matching rows by (bench, params) and comparing the mean of
+the wall-clock metrics (ns_per_item / ns_per_packet). A cell that got more
+than --threshold slower than its most recent baseline row fails the check
+and is listed in a diff table.
+
+The check is soft by design: wall-clock numbers move with the machine, so
+the threshold defaults to a generous 25% and only the named nanosecond
+metrics are compared — counts, violation totals and derived rates are
+trend data, not gates.
+
+Usage:
+    tools/check_bench_regression.py --baseline BENCH_simcore.json \
+        --fresh fresh.jsonl [--threshold 1.25]
+"""
+
+import argparse
+import json
+import sys
+
+WALL_CLOCK_METRICS = ("ns_per_item", "ns_per_packet")
+
+
+def load_rows(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(
+                    f"{path}:{line_number}: not JSON lines: {err}"
+                )
+    return rows
+
+
+def cell_key(row):
+    params = row.get("params", {})
+    return (
+        row.get("bench", "?"),
+        tuple(sorted((str(k), str(v)) for k, v in params.items())),
+    )
+
+
+def wall_clock_means(row):
+    """The comparable {metric: mean} subset of one row."""
+    out = {}
+    for name, stats in row.get("metrics", {}).items():
+        if name in WALL_CLOCK_METRICS and "mean" in stats:
+            out[name] = float(stats["mean"])
+    return out
+
+
+def latest_by_key(rows):
+    """Most recent row per cell (trend files append, so last line wins)."""
+    latest = {}
+    for row in rows:
+        latest[cell_key(row)] = row
+    return latest
+
+
+def format_key(key):
+    bench, params = key
+    rendered = " ".join(f"{k}={v}" for k, v in params)
+    return f"{bench}[{rendered}]" if rendered else bench
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed trend file (JSON lines)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced bench output (JSON lines)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail ratio: fresh/baseline mean above this "
+                             "is a regression (default 1.25 = +25%%)")
+    args = parser.parse_args()
+
+    baseline = latest_by_key(load_rows(args.baseline))
+    fresh = latest_by_key(load_rows(args.fresh))
+
+    compared = 0
+    regressions = []
+    for key, fresh_row in sorted(fresh.items()):
+        base_row = baseline.get(key)
+        if base_row is None:
+            continue  # new cell: becomes a baseline, nothing to gate
+        base_means = wall_clock_means(base_row)
+        for metric, fresh_mean in wall_clock_means(fresh_row).items():
+            base_mean = base_means.get(metric)
+            if base_mean is None or base_mean <= 0:
+                continue
+            compared += 1
+            ratio = fresh_mean / base_mean
+            if ratio > args.threshold:
+                regressions.append(
+                    (format_key(key), metric, base_mean, fresh_mean, ratio)
+                )
+
+    print(f"bench regression check: {compared} wall-clock metric(s) "
+          f"compared, threshold x{args.threshold:.2f}")
+    if not regressions:
+        print("OK: no cell regressed beyond the threshold")
+        return 0
+
+    header = (f"{'cell':<50} {'metric':<14} {'baseline':>12} "
+              f"{'fresh':>12} {'ratio':>7}")
+    print()
+    print(header)
+    print("-" * len(header))
+    for name, metric, base_mean, fresh_mean, ratio in regressions:
+        print(f"{name:<50} {metric:<14} {base_mean:>12.1f} "
+              f"{fresh_mean:>12.1f} {ratio:>6.2f}x")
+    print()
+    print(f"FAIL: {len(regressions)} cell(s) regressed more than "
+          f"{(args.threshold - 1) * 100:.0f}% — if this slowdown is "
+          f"expected, refresh the baseline rows in the committed file")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
