@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "cluster/topology.hh"
 #include "exp/seed_stream.hh"
 #include "mem/address_space.hh"
 
@@ -46,8 +47,15 @@ ChaosEngine::ChaosEngine(EventQueue& events, const ChaosConfig& config)
         PacketFilter requests = config_.filter;
         requests.requestsOnly = true;
         injector_.addStage(std::make_unique<ForgedNakStage>(
-            requests, config_.forgedNakRate));
+            requests, config_.forgedNakRate, net::Opcode::Nak,
+            Time::ms(1.28), config_.forgedNakMaxRewind));
     }
+}
+
+void
+ChaosEngine::attachTopology(Topology& topology)
+{
+    injector_.addStage(std::make_unique<TopologyStage>(topology));
 }
 
 void

@@ -31,6 +31,8 @@
 namespace ibsim {
 namespace chaos {
 
+class Topology;
+
 /**
  * Declarative fault campaign. Rates are per-packet probabilities; a
  * fault class is off at rate 0 (flap is off while flapDown is 0). The
@@ -54,6 +56,15 @@ struct ChaosConfig
     Time delayMin = Time::us(1);
     Time delayMax = Time::us(100);
     double forgedNakRate = 0.0;
+
+    /**
+     * When > 0, forged NAK PSNs land up to this many slots below the
+     * triggering request — inside a possibly coalesced-ACKed range (the
+     * ForgedNakStage ACK-coalescing edge case). 0 keeps the classic
+     * NAK-at-request-PSN behaviour.
+     */
+    std::uint32_t forgedNakMaxRewind = 0;
+
     Time flapPeriod = Time::ms(10);
     Time flapDown;  ///< 0 disables the flap stage
 };
@@ -87,6 +98,15 @@ class ChaosEngine
 
     FaultInjector& injector() { return injector_; }
     const ChaosConfig& config() const { return config_; }
+
+    /**
+     * Append a TopologyStage consulting @p topology's per-link flap
+     * schedules (cluster/topology.hh) to the wire pipeline — the
+     * multi-node counterpart of the single LinkFlapStage. @p topology
+     * must outlive the engine; stages run in attach order after the
+     * config-built ones.
+     */
+    void attachTopology(Topology& topology);
 
     /**
      * Page-fault latency spikes: with probability @p rate a fault's

@@ -218,6 +218,18 @@ ForgedNakStage::apply(std::vector<net::FaultHook::Delivery>& deliveries,
         nak.srcQpn = req.dstQpn;
         nak.dstQpn = req.srcQpn;
         nak.psn = req.psn;
+        if (maxRewind_ > 0) {
+            // ACK-coalescing edge case: land the forged PSN below the
+            // request, possibly inside a range a coalesced ACK already
+            // retired. A correct requester clamps the rewind at its
+            // go-back-N window head; double-retiring a completed WR
+            // would trip the oracle's exactly-once accounting. The draw
+            // happens only in this mode, so default-configured stages
+            // keep their packet-for-packet RNG schedules.
+            const auto back = static_cast<std::uint32_t>(
+                rng.uniformInt(1, maxRewind_));
+            nak.psn = (req.psn - back) & 0xffffff;
+        }
         if (nakOpcode_ == net::Opcode::RnrNak)
             nak.rnrDelay = rnrDelay_;
         else

@@ -260,15 +260,23 @@ class LossModelStage : public FaultStage
  * replay (Fig. 8's recovery path, without a real loss); an RNR NAK
  * provokes the RNR wait machinery. The forged packet carries
  * Packet::chaosForged so the oracle knows it is injected noise.
+ *
+ * With @p max_rewind > 0 the forged PSN lands up to that many slots
+ * *below* the triggering request — inside a range the requester may
+ * already have retired via a coalesced ACK. That is the ACK-coalescing
+ * edge case where go-back-N implementations double-retire WRs: the
+ * requester must clamp the rewind at its window head and never complete
+ * an already-completed WQE again (checked by invariants C1/W5).
  */
 class ForgedNakStage : public FaultStage
 {
   public:
     ForgedNakStage(PacketFilter filter, double rate,
                    net::Opcode nak_opcode = net::Opcode::Nak,
-                   Time rnr_delay = Time::ms(1.28))
+                   Time rnr_delay = Time::ms(1.28),
+                   std::uint32_t max_rewind = 0)
         : filter_(filter), rate_(rate), nakOpcode_(nak_opcode),
-          rnrDelay_(rnr_delay)
+          rnrDelay_(rnr_delay), maxRewind_(max_rewind)
     {}
 
     const char* name() const override { return "forged-nak"; }
@@ -280,6 +288,7 @@ class ForgedNakStage : public FaultStage
     double rate_;
     net::Opcode nakOpcode_;  ///< Opcode::Nak (seq error) or Opcode::RnrNak
     Time rnrDelay_;
+    std::uint32_t maxRewind_;  ///< 0: NAK at the request's own PSN
 };
 
 /**

@@ -123,21 +123,70 @@ InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
 
     // Injected noise (duplicates, corruption, forgeries) is the
     // injector's doing, not the endpoint's: excluded from bookkeeping.
-    if (pkt.chaosFlags != 0)
-        return;
-
-    if (isRequestOpcode(pkt.op)) {
-        FlowState* st = flow(pkt.srcLid, pkt.srcQpn);
-        if (st == nullptr || st->qp == nullptr ||
-            st->qp->config.transport != verbs::Transport::Rc) {
-            return;
+    if (pkt.chaosFlags != 0) {
+        // One exception must be recorded: corruption mangles packets the
+        // endpoint really emitted, and it may hit the PSN or opcode of a
+        // replay-cache answer — the A1 ledger then cannot attribute the
+        // answer and would report a false "unanswered duplicate". The
+        // replayed mark and the source address survive corruption (the
+        // injector never touches them), so note the broken evidence
+        // chain and let finalCheck() stand down A1-lost for this flow.
+        if ((pkt.chaosFlags & net::Packet::chaosCorrupted) != 0 &&
+            pkt.replayed) {
+            FlowState* rs = flow(pkt.srcLid, pkt.srcQpn);
+            if (rs != nullptr)
+                rs->atomicAnswerAttributionLost = true;
         }
+        return;
+    }
+
+    if (isRequestOpcode(pkt.op))
+        onRequestEgress(pkt, dropped);
+    else
+        onResponseEgress(pkt, dropped);
+}
+
+void
+InvariantMonitor::onRequestEgress(const net::Packet& pkt, bool dropped)
+{
+    FlowState* st = flow(pkt.srcLid, pkt.srcQpn);
+    if (st != nullptr && st->qp != nullptr) {
         const rnic::QpContext& qp = *st->qp;
         // A READ reserves [psn, psn+segCount) with one wire packet; all
         // other requests occupy one PSN per packet.
         const std::uint32_t span =
             pkt.op == net::Opcode::ReadRequest ? pkt.segCount : 1;
         const std::uint32_t last = (pkt.psn + span - 1) & 0xffffff;
+
+        // Service-type verb/fire-and-forget contracts (V1/U1/V3): judged
+        // before the late-attach gate because they hold for every packet
+        // the flow ever emits, whenever we started watching.
+        const verbs::Transport transport = qp.config.transport;
+        if (transport == verbs::Transport::Ud) {
+            if (pkt.op != net::Opcode::Send) {
+                emit("ud-verb", pkt.srcLid, pkt.srcQpn,
+                     std::string(net::opcodeName(pkt.op)) +
+                         " emitted by a UD flow (SEND only)");
+            }
+            if (pkt.retransmission) {
+                emit("ud-no-retransmit", pkt.srcLid, pkt.srcQpn,
+                     "UD datagram psn=" + std::to_string(pkt.psn) +
+                         " marked as a retransmission");
+            }
+        } else if (transport == verbs::Transport::Uc) {
+            if (pkt.op != net::Opcode::Send &&
+                pkt.op != net::Opcode::WriteRequest) {
+                emit("uc-verb", pkt.srcLid, pkt.srcQpn,
+                     std::string(net::opcodeName(pkt.op)) +
+                         " emitted by a UC flow (SEND/WRITE only)");
+            }
+            if (pkt.retransmission) {
+                emit("uc-no-retransmit", pkt.srcLid, pkt.srcQpn,
+                     "UC psn=" + std::to_string(pkt.psn) +
+                         " marked as a retransmission");
+            }
+        }
+
         // Late attach: PSNs below the attach snapshot were posted before
         // we were watching, so their first (fresh) transmission is not
         // ours to judge.
@@ -158,7 +207,7 @@ InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
                          " beyond posted range (nextPsn=" +
                          std::to_string(qp.nextPsn) + ")");
             }
-        } else {
+        } else if (transport == verbs::Transport::Rc) {
             if (rnic::psnDiff(last, qp.nextPsn) >= 0) {
                 emit("retrans-posted", pkt.srcLid, pkt.srcQpn,
                      "retransmitted psn=" + std::to_string(pkt.psn) +
@@ -173,11 +222,107 @@ InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
                          std::to_string(qp.outstanding.front().psn));
             }
         }
-        return;
     }
 
-    // Response-class packet: judge it against the requester (the
-    // destination flow) it acknowledges.
+    // A1 bookkeeping: a duplicate atomic delivered inside the responder's
+    // executed range MUST be answered from the replay cache — silence
+    // means the cache evicted a record the PSN window still required.
+    // Judged on egress-time responder state (expectedPsn only advances,
+    // so "already executed" here still holds at delivery). Excluded:
+    // packets that never arrive (dropped), dammed exchanges (lost by the
+    // quirk before the responder sees them), and error-state responders.
+    if (pkt.op == net::Opcode::AtomicRequest && !dropped && !pkt.dammed) {
+        FlowState* resp = flow(pkt.dstLid, pkt.dstQpn);
+        if (resp != nullptr && resp->qp != nullptr &&
+            resp->qp->config.transport == verbs::Transport::Rc &&
+            !resp->qp->errorState &&
+            rnic::psnDiff(pkt.psn, resp->qp->expectedPsn) < 0) {
+            ++resp->atomicMustAnswer[pkt.psn];
+        }
+    }
+}
+
+void
+InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
+{
+    // Responder-role checks, judged against the emitting (source) flow.
+    FlowState* rs = flow(pkt.srcLid, pkt.srcQpn);
+    if (rs != nullptr && rs->qp != nullptr) {
+        const verbs::Transport transport = rs->qp->config.transport;
+        if (transport == verbs::Transport::Ud ||
+            transport == verbs::Transport::Uc) {
+            // V2: no ACK/NAK/response machinery exists for UD/UC.
+            emit(transport == verbs::Transport::Ud ? "ud-one-way"
+                                                   : "uc-one-way",
+                 pkt.srcLid, pkt.srcQpn,
+                 std::string(net::opcodeName(pkt.op)) +
+                     " emitted by a one-way flow");
+        } else {
+            if (pkt.op == net::Opcode::AtomicResponse) {
+                // A1 value consistency: every answer for one PSN carries
+                // the same original value; a re-executing responder
+                // returns the post-update value instead.
+                auto [it, first] =
+                    rs->atomicRespPayload.try_emplace(pkt.psn, pkt.payload);
+                if (!first && it->second != pkt.payload) {
+                    emit("atomic-replay-value", pkt.srcLid, pkt.srcQpn,
+                         "atomic psn=" + std::to_string(pkt.psn) +
+                             " answered with a different value than its "
+                             "first response (responder re-executed)");
+                }
+                auto must = rs->atomicMustAnswer.find(pkt.psn);
+                if (must != rs->atomicMustAnswer.end())
+                    ++rs->atomicAnswered[pkt.psn];
+            } else if (pkt.op == net::Opcode::RnrNak ||
+                       (pkt.op == net::Opcode::Nak &&
+                        pkt.nak == net::NakCode::RemoteAccessError)) {
+                // A duplicate atomic answered with RNR or an access NAK
+                // is answered, not lost (PSN-sequence NAKs reference
+                // expectedPsn, never the duplicate, so they don't count).
+                auto must = rs->atomicMustAnswer.find(pkt.psn);
+                if (must != rs->atomicMustAnswer.end())
+                    ++rs->atomicAnswered[pkt.psn];
+            }
+
+            // A2: fresh (non-replayed) executions leave the responder in
+            // expectedPsn order, so an atomic's response PSN exceeds
+            // every earlier fresh data response and no fresh READ data
+            // follows at or below an answered atomic's PSN. Replay-cache
+            // re-serves are exempt: they answer old PSNs by design.
+            if (!pkt.replayed) {
+                if (pkt.op == net::Opcode::AtomicResponse) {
+                    if (rs->anyFreshData &&
+                        rnic::psnDiff(pkt.psn, rs->lastFreshDataPsn) <= 0) {
+                        emit("atomic-serialization", pkt.srcLid, pkt.srcQpn,
+                             "fresh atomic response psn=" +
+                                 std::to_string(pkt.psn) +
+                                 " does not serialize after data response "
+                                 "psn=" +
+                                 std::to_string(rs->lastFreshDataPsn));
+                    }
+                    rs->anyFreshData = true;
+                    rs->lastFreshDataPsn = pkt.psn;
+                    rs->anyFreshAtomic = true;
+                    rs->lastFreshAtomicPsn = pkt.psn;
+                } else if (pkt.op == net::Opcode::ReadResponse) {
+                    if (rs->anyFreshAtomic &&
+                        rnic::psnDiff(pkt.psn, rs->lastFreshAtomicPsn) <=
+                            0) {
+                        emit("atomic-serialization", pkt.srcLid, pkt.srcQpn,
+                             "fresh read response psn=" +
+                                 std::to_string(pkt.psn) +
+                                 " emitted at/below answered atomic psn=" +
+                                 std::to_string(rs->lastFreshAtomicPsn));
+                    }
+                    rs->anyFreshData = true;
+                    rs->lastFreshDataPsn = pkt.psn;
+                }
+            }
+        }
+    }
+
+    // W4: judge the response against the requester (the destination
+    // flow) it acknowledges. RC only — one-way flows never expect one.
     FlowState* st = flow(pkt.dstLid, pkt.dstQpn);
     if (st == nullptr || st->qp == nullptr ||
         st->qp->config.transport != verbs::Transport::Rc) {
@@ -201,8 +346,8 @@ InvariantMonitor::onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
         return;
     // P1: the post tap fires before PSN assignment, so qp.nextPsn is the
     // value every earlier post advanced it to — it must never regress.
+    // Holds for every transport: UC/UD assign from the same counter.
     if (st->anyPostSeen &&
-        qp.config.transport == verbs::Transport::Rc &&
         rnic::psnDiff(qp.nextPsn, st->lastNextPsn) < 0) {
         emit("psn-monotonic", lid, qp.qpn,
              "nextPsn regressed " + std::to_string(st->lastNextPsn) +
@@ -236,6 +381,7 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
         // belongs to the pre-attach era, not to the oracle.
         if (st->lateAttach && st->recvPostedByWr[wc.wrId] == 0)
             return;
+        ++st->recvCompleted;
         const std::uint64_t done = ++st->recvCompletedByWr[wc.wrId];
         if (done > st->recvPostedByWr[wc.wrId]) {
             emit("recv-exactly-once", lid, wc.qpn,
@@ -267,6 +413,42 @@ InvariantMonitor::finalCheck()
             emit("send-completion-missing", key.lid, key.qpn,
                  std::to_string(st.sendPosted) + " send WRs posted but " +
                      std::to_string(st.sendCompleted) + " completed");
+        }
+
+        // A1: every delivered executed-range duplicate atomic must have
+        // drawn an answer (replay cache, RNR or access NAK) by drain.
+        // Stand down when the injector corrupted a replay answer in
+        // flight: the ledger can no longer attribute answers to PSNs.
+        if (!st.atomicAnswerAttributionLost) {
+            for (const auto& [psn, must] : st.atomicMustAnswer) {
+                const auto it = st.atomicAnswered.find(psn);
+                const std::uint64_t answered =
+                    it == st.atomicAnswered.end() ? 0 : it->second;
+                if (answered < must) {
+                    emit("atomic-replay-lost", key.lid, key.qpn,
+                         "duplicate atomic psn=" + std::to_string(psn) +
+                             " delivered " + std::to_string(must) +
+                             "x but answered " + std::to_string(answered) +
+                             "x (replay cache lost a required record)");
+                }
+            }
+        }
+
+        // U3: datagrams delivered to a UD flow reconcile exactly as RECV
+        // completions plus counted drops — nothing vanishes silently.
+        // (Late-attach flows skip pre-attach completions, so the books
+        // cannot balance; they are excluded.)
+        if (st.qp != nullptr && !st.lateAttach &&
+            st.qp->config.transport == verbs::Transport::Ud) {
+            const auto& qs = st.qp->stats;
+            if (qs.udDeliveredSends != st.recvCompleted + qs.udDrops) {
+                emit("ud-silent-drop", key.lid, key.qpn,
+                     std::to_string(qs.udDeliveredSends) +
+                         " datagrams delivered but " +
+                         std::to_string(st.recvCompleted) +
+                         " received + " + std::to_string(qs.udDrops) +
+                         " counted drops");
+            }
         }
     }
 }

@@ -1,32 +1,63 @@
 /**
  * @file
- * Online invariant oracle for the RC transport.
+ * Online invariant oracle for the full transport surface (RC/UC/UD).
  *
  * The chaos engine (fault_injector.hh) answers "can we provoke this fault
  * class?"; the monitor answers "did the transport stay correct while it
  * happened?". It taps the fabric at egress, the RNIC post paths, and the
- * completion queues, and checks the RC guarantees the paper's experiments
+ * completion queues, and checks the guarantees the paper's experiments
  * lean on — exactly-once completion per posted WR (Sec. II: RC "guarantees
  * lossless ordered delivery"), go-back-N recovery staying inside the
- * posted PSN window (Fig. 8), and ACK/NAK coherence — emitting structured
+ * posted PSN window (Fig. 8), ACK/NAK coherence, exactly-once atomics,
+ * and the fire-and-forget contracts of UC/UD — emitting structured
  * Violation reports instead of asserting.
  *
- * Invariants checked:
+ * Invariants checked (every transport unless noted):
  *  P1 psn-monotonic       a QP's nextPsn never moves backwards across posts
  *  W1 fresh-once          a fresh (non-retransmitted) request PSN appears
  *                         on the wire at most once per flow
  *  W2 fresh-posted        fresh request PSNs lie inside the posted range
- *  W3 retrans-posted      retransmitted PSNs lie inside the posted range
- *  W4 ack-coherence       ACK/NAK/response PSNs arriving at a requester
- *                         reference a PSN it actually posted
- *  W5 retrans-window      retransmissions never fall below the go-back-N
- *                         window (the oldest incomplete WQE)
+ *  W3 retrans-posted      RC: retransmitted PSNs lie inside the posted
+ *                         range
+ *  W4 ack-coherence       RC: ACK/NAK/response PSNs arriving at a
+ *                         requester reference a PSN it actually posted
+ *  W5 retrans-window      RC: retransmissions never fall below the
+ *                         go-back-N window (the oldest incomplete WQE)
  *  C1 send-exactly-once   per (flow, wrId): send completions <= posts
  *  C2 recv-exactly-once   per (flow, wrId): recv completions <= posts
  *                         (a duplicate RC delivery would consume a second
  *                         RECV and trip this)
  *  F1 send-completion     finalCheck(): every posted send WR completed
- *     -missing            exactly once (drained-workload runs only)
+ *     -missing            exactly once (drained-workload runs only).
+ *                         For UC/UD — whose WRs complete at post — C1+F1
+ *                         together are the per-packet completion contract.
+ *  A1 atomic-replay       RC atomics are exactly-once: every AtomicResponse
+ *     -value / -lost      a flow emits for one PSN carries the same
+ *                         original value (a re-executing responder returns
+ *                         a different one — "-value", at egress), and every
+ *                         delivered duplicate atomic inside the responder's
+ *                         executed range is answered from the replay cache
+ *                         ("-lost", at finalCheck(): silence means the
+ *                         cache lost a record it was required to hold)
+ *  A2 atomic-             fresh (non-replayed) atomic responses serialize
+ *     serialization       against overlapping READ response streams: an
+ *                         atomic's response PSN exceeds every earlier fresh
+ *                         data response, and no fresh READ data is emitted
+ *                         at or below an already-answered atomic's PSN
+ *  U1 ud-no-retransmit    a UD flow never marks a datagram as a
+ *                         retransmission (fire-and-forget; PSN reuse on a
+ *                         UD flow additionally trips W1)
+ *  U3 ud-silent-drop      finalCheck(): datagrams delivered to a UD flow
+ *                         reconcile exactly as RECV completions plus the
+ *                         responder's counted drops (QpStats::udDrops) —
+ *                         nothing falls through silently. (Assumes the CQ
+ *                         is not under chaos pressure: a lost completion
+ *                         is exactly the kind of silent loss this flags.)
+ *  V1 ud-verb / uc-verb   request opcodes match the service type: UD
+ *                         carries SENDs only, UC carries SEND/WRITE only
+ *  V2 ud-one-way /        UD/UC flows never emit response-class packets
+ *     uc-one-way          (no ACK/NAK machinery exists for them)
+ *  V3 uc-no-retransmit    a UC flow never marks a packet as retransmitted
  *  S1 swrel-exactly-once  SoftReliableChannel delivered each sequence
  *                         number at most once, and no message is both
  *                         acked and failed
@@ -36,7 +67,14 @@
  * from wire bookkeeping, so the oracle judges endpoint behaviour, not the
  * injector's. The egress tap fires synchronously inside Fabric::send(),
  * so wire checks observe the endpoint's emission order even when the
- * injector reorders arrivals.
+ * injector reorders arrivals. Responder-role checks (A1/A2/U3) likewise
+ * key on egress-time responder state: a request observed as a duplicate
+ * at egress is still a duplicate at delivery, because expectedPsn only
+ * advances.
+ *
+ * Multi-node topologies: watchAll(cluster) attaches every QP of every
+ * node, whatever its transport — the one-call attach for >2-node meshes
+ * flapping under a chaos::Topology schedule (cluster/topology.hh).
  */
 
 #ifndef IBSIM_CHAOS_INVARIANT_MONITOR_HH
@@ -181,9 +219,37 @@ class InvariantMonitor
         std::map<std::uint64_t, std::uint64_t> recvPostedByWr;
         std::map<std::uint64_t, std::uint64_t> recvCompletedByWr;
         /** @} */
+
+        /** U3: RECV completions observed on this flow (post-attach). */
+        std::uint64_t recvCompleted = 0;
+
+        /**
+         * @{ A1 responder-role state. mustAnswer counts delivered
+         * duplicate atomics inside the executed range (recorded at
+         * request egress, judged against answered at finalCheck());
+         * respPayload pins the first response value seen per PSN.
+         */
+        std::map<std::uint32_t, std::uint64_t> atomicMustAnswer;
+        std::map<std::uint32_t, std::uint64_t> atomicAnswered;
+        std::map<std::uint32_t, std::vector<std::uint8_t>> atomicRespPayload;
+        /** Injector corrupted a replay answer in flight: the per-PSN
+         * answered ledger is no longer attributable, A1-lost stands
+         * down for this flow (value/serialization checks keep running). */
+        bool atomicAnswerAttributionLost = false;
+        /** @} */
+
+        /** @{ A2 state: PSN of the last fresh (non-replayed) data-bearing
+         * response / fresh atomic response this flow emitted. */
+        std::uint32_t lastFreshDataPsn = 0;
+        bool anyFreshData = false;
+        std::uint32_t lastFreshAtomicPsn = 0;
+        bool anyFreshAtomic = false;
+        /** @} */
     };
 
     void onEgress(const net::Packet& pkt, bool dropped);
+    void onRequestEgress(const net::Packet& pkt, bool dropped);
+    void onResponseEgress(const net::Packet& pkt, bool dropped);
     void onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
                     const rnic::SendWqe& wqe);
     void onRecvPost(std::uint16_t lid, const rnic::QpContext& qp,

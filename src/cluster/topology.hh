@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multi-node chaos topology: per-link seed-deterministic flap schedules.
+ *
+ * The single LinkFlapStage models one flapping cable with a fixed duty
+ * cycle; real multi-node incidents look different — each link of a mesh
+ * fails on its own schedule, and the interesting transport states appear
+ * where flows that share endpoints see *different* connectivity (the
+ * paper's timeout machinery then runs on some QPs of a node while others
+ * make progress). chaos::Topology models an N-node full mesh in which
+ * every unordered link {a, b} owns a flap plan (mean up/down durations)
+ * and a private RNG derived from one seed via exp::SeedStream, producing
+ * a jittered up/down window sequence that is a pure function of (seed,
+ * link, virtual time) — independent of packet arrival order, so any
+ * failing schedule replays bit-identically.
+ *
+ * TopologyStage adapts the schedule into the chaos::FaultInjector
+ * pipeline: packets crossing a link during one of its down windows are
+ * dropped (counted per link and in InjectorStats::flapDropped). The
+ * invariant oracle attaches with InvariantMonitor::watchAll(cluster) and
+ * must stay clean while the mesh flaps.
+ */
+
+#ifndef IBSIM_CLUSTER_TOPOLOGY_HH
+#define IBSIM_CLUSTER_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/fault_injector.hh"
+#include "simcore/rng.hh"
+#include "simcore/time.hh"
+
+namespace ibsim {
+namespace chaos {
+
+/**
+ * Flap plan of one link: alternating up/down windows whose durations are
+ * jittered uniformly in [0.5, 1.5] x the mean. meanDown == 0 disables
+ * flapping (the link is always up).
+ */
+struct FlapPlan
+{
+    Time meanUp;
+    Time meanDown;
+
+    bool enabled() const { return meanDown > Time(); }
+};
+
+/**
+ * An N-node full mesh of independently flapping links (LIDs 1..N, the
+ * Cluster numbering). Links start up and carry no plan until one is set.
+ */
+class Topology
+{
+  public:
+    /** Per-link observability. */
+    struct LinkStats
+    {
+        /** Completed down windows entered so far. */
+        std::uint64_t flaps = 0;
+        /** Packets a TopologyStage dropped on this link while down. */
+        std::uint64_t dropsWhileDown = 0;
+    };
+
+    /**
+     * @param node_count nodes in the mesh (LIDs 1..node_count)
+     * @param seed base of every link's private schedule RNG
+     */
+    Topology(std::size_t node_count, std::uint64_t seed);
+
+    std::size_t nodeCount() const { return nodes_; }
+
+    /** Set the flap plan of every link at once. */
+    void setDefaultPlan(const FlapPlan& plan);
+
+    /** Set the flap plan of the link {lid_a, lid_b} (order-insensitive). */
+    void setLinkPlan(std::uint16_t lid_a, std::uint16_t lid_b,
+                     const FlapPlan& plan);
+
+    /**
+     * Whether the link carrying src -> dst traffic is up at @p now,
+     * advancing its window schedule as virtual time passes. Queries must
+     * be time-monotonic (they come from the event loop, so they are).
+     * Links outside the mesh — either LID not in [1, nodeCount] — and
+     * self-loops are always up.
+     */
+    bool linkUp(std::uint16_t src, std::uint16_t dst, Time now);
+
+    /** Count a packet dropped on {a, b} (called by TopologyStage). */
+    void countDrop(std::uint16_t lid_a, std::uint16_t lid_b);
+
+    const LinkStats& linkStats(std::uint16_t lid_a,
+                               std::uint16_t lid_b) const;
+
+    /** Completed down windows across every link. */
+    std::uint64_t totalFlaps() const;
+
+  private:
+    struct Link
+    {
+        explicit Link(std::uint64_t seed) : rng(seed) {}
+
+        FlapPlan plan;
+        Rng rng;
+        bool up = true;
+        bool scheduleStarted = false;
+        Time nextToggle;
+        LinkStats stats;
+    };
+
+    /** Index of the unordered link {a, b} in the triangular table. */
+    std::size_t linkIndex(std::uint16_t lid_a, std::uint16_t lid_b) const;
+
+    bool inMesh(std::uint16_t lid_a, std::uint16_t lid_b) const;
+
+    std::size_t nodes_;
+    std::vector<Link> links_;
+};
+
+/**
+ * FaultInjector stage dropping packets whose link is in a down window of
+ * @p topology's schedule. Non-owning: the topology must outlive the
+ * injector it is attached to. Drawing nothing from the pipeline RNG, it
+ * leaves every other stage's schedule untouched.
+ */
+class TopologyStage : public FaultStage
+{
+  public:
+    explicit TopologyStage(Topology& topology) : topology_(topology) {}
+
+    const char* name() const override { return "topology"; }
+    void apply(std::vector<net::FaultHook::Delivery>& deliveries, Time now,
+               Rng& rng, InjectorStats& stats) override;
+
+  private:
+    Topology& topology_;
+};
+
+} // namespace chaos
+} // namespace ibsim
+
+#endif // IBSIM_CLUSTER_TOPOLOGY_HH

@@ -101,6 +101,17 @@ class Fabric
     /** Add a capture tap observing all traffic. */
     void addTap(CaptureTap tap);
 
+    /**
+     * Whether a port is attached under @p lid — the dense PortRecord
+     * table bounds check. Egress paths that pre-address packets (UD
+     * datagrams) consult this to account would-be silent drops.
+     */
+    bool
+    attached(std::uint16_t lid) const
+    {
+        return lid < ports_.size() && ports_[lid].handler != nullptr;
+    }
+
     /** Total packets handed to send(). */
     std::uint64_t totalSent() const { return totalSent_; }
 

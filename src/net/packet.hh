@@ -109,6 +109,16 @@ struct Packet
     bool retransmission = false;
 
     /**
+     * True for a response the responder re-served for a duplicate request
+     * (re-served READ data, re-ACKs, atomic replay-cache answers). The
+     * invariant oracle's serialization checks judge fresh executions
+     * only, so replays must be distinguishable from first responses.
+     * Like `dammed`, this models engine-internal ground truth, not a
+     * wire field.
+     */
+    bool replayed = false;
+
+    /**
      * @{ Chaos fault-injection provenance (src/chaos/). The injector marks
      * packets it duplicated, corrupted or forged so that the invariant
      * oracle can tell endpoint behaviour apart from injected wire noise,

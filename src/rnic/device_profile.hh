@@ -110,6 +110,46 @@ struct DeviceProfile
      */
     std::uint32_t dammingCapacity = 16;
 
+    /**
+     * Depth of the responder's atomic replay cache (the IBA "atomic
+     * response resources"): how many recent atomic results are retained
+     * to answer duplicate requests without re-executing. Requesters keep
+     * their in-flight window at or below this, so a retransmitted atomic
+     * always finds its record.
+     */
+    std::size_t atomicReplayDepth = 128;
+
+    /**
+     * @{ Resurrectable historical defects, kept behind switches so the
+     * chaos oracle's regression tests can flip one on and assert the
+     * corresponding invariant family catches the old behaviour
+     * (tests/test_chaos.cc). All off in every shipped profile.
+     */
+
+    /**
+     * Pre-fix atomic replay-cache accounting: a duplicate-PSN insert
+     * overwrites the map entry but pushes a second eviction-order entry,
+     * so eviction later erases a live record early and the cache drifts
+     * past its accounted capacity (caught by invariant A1).
+     */
+    bool atomicCacheAccountingBug = false;
+
+    /**
+     * Broken responder that re-executes duplicate atomics against memory
+     * instead of answering from the replay cache — the exactly-once
+     * violation invariant A1 exists to catch.
+     */
+    bool atomicReexecuteBug = false;
+
+    /**
+     * Pre-fix UD drop accounting: datagrams discarded at the responder
+     * (no RECV posted, truncation, ODP-cold buffer) fall through
+     * silently instead of counting QpStats::udDrops (caught by
+     * invariant U3).
+     */
+    bool udDropAccountingBug = false;
+    /** @} */
+
     /** ODP driver timing. */
     odp::FaultTiming faultTiming;
 

@@ -114,6 +114,18 @@ struct QpStats
     std::uint64_t responsesDiscardedStale = 0;
     std::uint64_t dammedDrops = 0;
     std::uint64_t completions = 0;
+
+    /**
+     * @{ UD responder accounting, read by the chaos oracle's U3
+     * silent-drop invariant: every SEND datagram reaching a UD QP is
+     * either consumed by a RECV (one Recv completion) or counted here —
+     * nothing falls through silently.
+     */
+    /** SEND datagrams delivered to this UD QP by the fabric. */
+    std::uint64_t udDeliveredSends = 0;
+    /** Datagrams discarded: no RECV posted, truncation, ODP-cold buffer. */
+    std::uint64_t udDrops = 0;
+    /** @} */
 };
 
 /**

@@ -73,12 +73,22 @@ RcResponder::onRequest(const net::Packet& pkt)
             break;
           case net::Opcode::WriteRequest:
           case net::Opcode::Send:
-            sendAck(pkt.psn);
+            sendAck(pkt.psn, /*replayed=*/true);
             break;
           case net::Opcode::AtomicRequest: {
+            if (rnic_.profile().atomicReexecuteBug) {
+                // Deliberately broken mode (oracle regression tests): the
+                // duplicate runs against memory again, so the requester
+                // sees a different original value the second time.
+                sendAtomicResponse(pkt.psn, applyAtomic(pkt),
+                                   /*replayed=*/true);
+                break;
+            }
             auto cached = atomicCache_.find(pkt.psn);
-            if (cached != atomicCache_.end())
-                sendAtomicResponse(pkt.psn, cached->second);
+            if (cached != atomicCache_.end()) {
+                sendAtomicResponse(pkt.psn, cached->second,
+                                   /*replayed=*/true);
+            }
             break;
           }
           default:
@@ -106,16 +116,30 @@ void
 RcResponder::onUdRequest(const net::Packet& pkt)
 {
     // Datagram service: SENDs only, no ordering, no acks. A datagram
-    // with no posted RECV (or an ODP-cold landing buffer) is dropped.
-    if (pkt.op != net::Opcode::Send || qp_.recvQueue.empty())
+    // with no posted RECV (or an ODP-cold landing buffer) is dropped —
+    // and every such drop is counted, so delivered datagrams always
+    // reconcile as RECV completions plus udDrops (invariant U3).
+    if (pkt.op != net::Opcode::Send)
         return;
+    ++qp_.stats.udDeliveredSends;
+    const bool countDrops = !rnic_.profile().udDropAccountingBug;
+    if (qp_.recvQueue.empty()) {
+        if (countDrops)
+            ++qp_.stats.udDrops;
+        return;
+    }
     RecvWqe& rq = qp_.recvQueue.front();
-    if (pkt.length > rq.length)
+    if (pkt.length > rq.length) {
+        if (countDrops)
+            ++qp_.stats.udDrops;
         return;
+    }
     verbs::MemoryRegion* mr = rnic_.findMr(rq.lkey);
     if (mr && mr->odp() && !mr->table().mappedRange(rq.addr, pkt.length)) {
         rnic_.driver().raiseFault(
             mr->table(), mr->table().firstUnmapped(rq.addr, pkt.length));
+        if (countDrops)
+            ++qp_.stats.udDrops;
         return;
     }
     rnic_.memory().write(rq.addr, pkt.payload);
@@ -269,7 +293,7 @@ RcResponder::execute(const net::Packet& pkt, bool duplicate)
         }
         if (!pagesReady(pkt, /*arrange_proactive=*/!duplicate))
             return false;
-        sendReadResponse(pkt);
+        sendReadResponse(pkt, /*replayed=*/duplicate);
         return true;
       }
 
@@ -304,27 +328,8 @@ RcResponder::execute(const net::Packet& pkt, bool duplicate)
             return false;
         assert(!duplicate && "duplicate atomics replay from the cache");
 
-        // Execute the 64-bit atomic against host memory.
-        const auto old_bytes = rnic_.memory().read(pkt.raddr, 8);
-        std::uint64_t old_value = 0;
-        std::memcpy(&old_value, old_bytes.data(), 8);
-        std::uint64_t new_value;
-        if (pkt.atomicIsCompSwap) {
-            new_value = old_value == pkt.atomicCompare ? pkt.atomicOperand
-                                                       : old_value;
-        } else {
-            new_value = old_value + pkt.atomicOperand;
-        }
-        std::vector<std::uint8_t> new_bytes(8);
-        std::memcpy(new_bytes.data(), &new_value, 8);
-        rnic_.memory().write(pkt.raddr, new_bytes);
-
-        atomicCache_[pkt.psn] = old_value;
-        atomicCacheOrder_.push_back(pkt.psn);
-        if (atomicCacheOrder_.size() > atomicCacheCapacity) {
-            atomicCache_.erase(atomicCacheOrder_.front());
-            atomicCacheOrder_.pop_front();
-        }
+        const std::uint64_t old_value = applyAtomic(pkt);
+        cacheAtomicResult(pkt.psn, old_value);
         sendAtomicResponse(pkt.psn, old_value);
         return true;
       }
@@ -380,8 +385,47 @@ RcResponder::execute(const net::Packet& pkt, bool duplicate)
     }
 }
 
+std::uint64_t
+RcResponder::applyAtomic(const net::Packet& pkt)
+{
+    // Execute the 64-bit atomic against host memory.
+    const auto old_bytes = rnic_.memory().read(pkt.raddr, 8);
+    std::uint64_t old_value = 0;
+    std::memcpy(&old_value, old_bytes.data(), 8);
+    std::uint64_t new_value;
+    if (pkt.atomicIsCompSwap) {
+        new_value = old_value == pkt.atomicCompare ? pkt.atomicOperand
+                                                   : old_value;
+    } else {
+        new_value = old_value + pkt.atomicOperand;
+    }
+    std::vector<std::uint8_t> new_bytes(8);
+    std::memcpy(new_bytes.data(), &new_value, 8);
+    rnic_.memory().write(pkt.raddr, new_bytes);
+    return old_value;
+}
+
 void
-RcResponder::sendReadResponse(const net::Packet& req)
+RcResponder::cacheAtomicResult(std::uint32_t psn, std::uint64_t old_value)
+{
+    const bool fresh = atomicCache_.find(psn) == atomicCache_.end();
+    atomicCache_[psn] = old_value;
+    // A reused PSN (24-bit wrap, or a reconnect resetting the stream)
+    // must refresh the existing record in place. Pushing a second order
+    // entry for it — the pre-fix behaviour kept behind the
+    // atomicCacheAccountingBug switch — makes eviction erase the live
+    // map record early and lets the deque drift past the capacity the
+    // map is accounted against.
+    if (fresh || rnic_.profile().atomicCacheAccountingBug)
+        atomicCacheOrder_.push_back(psn);
+    if (atomicCacheOrder_.size() > rnic_.profile().atomicReplayDepth) {
+        atomicCache_.erase(atomicCacheOrder_.front());
+        atomicCacheOrder_.pop_front();
+    }
+}
+
+void
+RcResponder::sendReadResponse(const net::Packet& req, bool replayed)
 {
     // The response stream occupies the request's reserved PSN range: one
     // packet per MTU-sized chunk.
@@ -394,6 +438,7 @@ RcResponder::sendReadResponse(const net::Packet& req)
         net::Packet resp;
         resp.op = net::Opcode::ReadResponse;
         resp.psn = (req.psn + seg) & 0xffffff;
+        resp.replayed = replayed;
         resp.length = chunk;
         resp.segIndex = seg;
         resp.segCount = segments;
@@ -403,11 +448,13 @@ RcResponder::sendReadResponse(const net::Packet& req)
 }
 
 void
-RcResponder::sendAtomicResponse(std::uint32_t psn, std::uint64_t old_value)
+RcResponder::sendAtomicResponse(std::uint32_t psn, std::uint64_t old_value,
+                                bool replayed)
 {
     net::Packet resp;
     resp.op = net::Opcode::AtomicResponse;
     resp.psn = psn;
+    resp.replayed = replayed;
     resp.length = 8;
     resp.payload.resize(8);
     std::memcpy(resp.payload.data(), &old_value, 8);
@@ -415,11 +462,12 @@ RcResponder::sendAtomicResponse(std::uint32_t psn, std::uint64_t old_value)
 }
 
 void
-RcResponder::sendAck(std::uint32_t psn)
+RcResponder::sendAck(std::uint32_t psn, bool replayed)
 {
     net::Packet ack;
     ack.op = net::Opcode::Ack;
     ack.psn = psn;
+    ack.replayed = replayed;
     rnic_.sendPacket(std::move(ack), qp_);
 }
 

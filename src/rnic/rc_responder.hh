@@ -60,8 +60,9 @@ class RcResponder
      */
     bool pagesReady(const net::Packet& pkt, bool arrange_proactive);
 
-    void sendReadResponse(const net::Packet& req);
-    void sendAck(std::uint32_t psn);
+    /** @p replayed marks responses re-serving a duplicate request. */
+    void sendReadResponse(const net::Packet& req, bool replayed = false);
+    void sendAck(std::uint32_t psn, bool replayed = false);
     void sendSeqNak();
     void sendAccessNak(std::uint32_t psn);
     void sendRnrNak(std::uint32_t psn);
@@ -83,13 +84,24 @@ class RcResponder
     /**
      * Atomic replay cache: atomics are not idempotent, so duplicates are
      * answered from these records instead of re-executing (the IBA
-     * atomic response resources). Bounded FIFO of recent results.
+     * atomic response resources). Bounded FIFO of recent results; the
+     * depth comes from DeviceProfile::atomicReplayDepth. atomicCache_
+     * holds one entry per cached PSN and atomicCacheOrder_ holds each of
+     * those PSNs exactly once in insertion order — cacheAtomicResult()
+     * maintains that correspondence so eviction retires map and deque
+     * coherently.
      */
     std::map<std::uint32_t, std::uint64_t> atomicCache_;
     std::deque<std::uint32_t> atomicCacheOrder_;
-    static constexpr std::size_t atomicCacheCapacity = 128;
 
-    void sendAtomicResponse(std::uint32_t psn, std::uint64_t old_value);
+    /** Run an atomic against host memory; returns the original value. */
+    std::uint64_t applyAtomic(const net::Packet& pkt);
+
+    /** Record an atomic result for duplicate replay (bounded FIFO). */
+    void cacheAtomicResult(std::uint32_t psn, std::uint64_t old_value);
+
+    void sendAtomicResponse(std::uint32_t psn, std::uint64_t old_value,
+                            bool replayed = false);
 
     /** Segments of an in-progress multi-packet SEND already landed. */
     std::uint32_t sendSegsLanded_ = 0;

@@ -174,6 +174,8 @@ void
 Rnic::sendRaw(net::Packet pkt)
 {
     ++stats_.packetsSent;
+    if (!fabric_.attached(pkt.dstLid))
+        ++stats_.udUnroutedDrops;
     fabric_.send(std::move(pkt));
 }
 

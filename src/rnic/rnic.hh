@@ -48,6 +48,13 @@ struct RnicStats
 
     /** Ingress packets dropped as malformed (graceful degradation). */
     std::uint64_t malformedDrops = 0;
+
+    /**
+     * Pre-addressed (UD) egress datagrams whose destination LID has no
+     * port attached — checked against the fabric's dense PortRecord
+     * table at send time instead of vanishing silently downstream.
+     */
+    std::uint64_t udUnroutedDrops = 0;
 };
 
 /**
@@ -122,7 +129,13 @@ class Rnic : public net::PortHandler
      */
     void sendPacket(net::Packet pkt, QpContext& qp);
 
-    /** Egress for pre-addressed packets (UD datagrams). */
+    /**
+     * Egress for pre-addressed packets (UD datagrams). The destination
+     * LID comes from the caller's address handle, not a connected QP, so
+     * it is bounds-checked against the fabric's port table here: an
+     * unrouteable datagram counts RnicStats::udUnroutedDrops (and is
+     * still handed to the fabric, where capture taps see the drop).
+     */
     void sendRaw(net::Packet pkt);
 
     /**

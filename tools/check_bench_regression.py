@@ -4,9 +4,12 @@
 Compares a freshly produced JSONL bench file (the same format
 exp::TrialRunner emits, one row per sweep cell) against a committed
 baseline file, matching rows by (bench, params) and comparing the mean of
-the wall-clock metrics (ns_per_item / ns_per_packet). A cell that got more
-than --threshold slower than its most recent baseline row fails the check
-and is listed in a diff table.
+the wall-clock metrics (ns_per_item / ns_per_packet). The verdict is per
+bench: the geometric mean of a bench's cell ratios (fresh/baseline) above
+--threshold fails the check. Individual cells — whose sub-millisecond
+walls swing far more than 25% with scheduler noise, in both directions —
+are printed as context but not gated; a real regression moves a whole
+bench's cells together.
 
 The check is soft by design: wall-clock numbers move with the machine, so
 the threshold defaults to a generous 25% and only the named nanosecond
@@ -20,6 +23,7 @@ Usage:
 
 import argparse
 import json
+import math
 import sys
 
 WALL_CLOCK_METRICS = ("ns_per_item", "ns_per_packet")
@@ -87,7 +91,7 @@ def main():
     fresh = latest_by_key(load_rows(args.fresh))
 
     compared = 0
-    regressions = []
+    per_cell = []  # (bench, cell name, metric, base, fresh, ratio)
     for key, fresh_row in sorted(fresh.items()):
         base_row = baseline.get(key)
         if base_row is None:
@@ -98,30 +102,48 @@ def main():
             if base_mean is None or base_mean <= 0:
                 continue
             compared += 1
-            ratio = fresh_mean / base_mean
-            if ratio > args.threshold:
-                regressions.append(
-                    (format_key(key), metric, base_mean, fresh_mean, ratio)
-                )
+            per_cell.append((key[0], format_key(key), metric, base_mean,
+                             fresh_mean, fresh_mean / base_mean))
+
+    # Single sub-millisecond cells swing far more than 25% with machine
+    # noise, and noise flips cells both ways while a real slowdown moves
+    # a whole bench together — so the verdict is per-bench: the
+    # geometric mean of the cell ratios must stay under the threshold.
+    # Individual outlier cells are listed as context, not failures.
+    by_bench = {}
+    for bench, _, _, _, _, ratio in per_cell:
+        by_bench.setdefault(bench, []).append(ratio)
+    bench_ratio = {
+        bench: math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        for bench, ratios in by_bench.items()
+    }
+    regressions = [(bench, ratio, len(by_bench[bench]))
+                   for bench, ratio in sorted(bench_ratio.items())
+                   if ratio > args.threshold]
 
     print(f"bench regression check: {compared} wall-clock metric(s) "
-          f"compared, threshold x{args.threshold:.2f}")
+          f"across {len(by_bench)} bench(es), threshold "
+          f"x{args.threshold:.2f} on the per-bench geometric mean")
+    for bench, ratio in sorted(bench_ratio.items()):
+        print(f"  {bench:<24} x{ratio:.2f} over {len(by_bench[bench])} "
+              f"cell(s)")
+    outliers = [c for c in per_cell if c[5] > args.threshold]
+    if outliers:
+        print()
+        print("outlier cells (context, not gated individually):")
+        for _, name, metric, base_mean, fresh_mean, ratio in outliers:
+            print(f"  {name:<52} {metric:<14} {base_mean:>10.1f} -> "
+                  f"{fresh_mean:>10.1f} {ratio:>6.2f}x")
+    print()
     if not regressions:
-        print("OK: no cell regressed beyond the threshold")
+        print("OK: no bench regressed beyond the threshold")
         return 0
 
-    header = (f"{'cell':<50} {'metric':<14} {'baseline':>12} "
-              f"{'fresh':>12} {'ratio':>7}")
-    print()
-    print(header)
-    print("-" * len(header))
-    for name, metric, base_mean, fresh_mean, ratio in regressions:
-        print(f"{name:<50} {metric:<14} {base_mean:>12.1f} "
-              f"{fresh_mean:>12.1f} {ratio:>6.2f}x")
-    print()
-    print(f"FAIL: {len(regressions)} cell(s) regressed more than "
-          f"{(args.threshold - 1) * 100:.0f}% — if this slowdown is "
-          f"expected, refresh the baseline rows in the committed file")
+    for bench, ratio, cells in regressions:
+        print(f"FAIL: {bench} regressed x{ratio:.2f} (geometric mean "
+              f"over {cells} cell(s), threshold x{args.threshold:.2f})")
+    print("if this slowdown is expected, refresh the baseline rows in "
+          "the committed file")
     return 1
 
 
