@@ -154,16 +154,25 @@ runProbe(const std::string& fault, std::uint64_t seed)
  * rewound into coalesced ACK ranges. The oracle's transport-specific
  * invariant families (A1/A2, U1/U3, V1-V3) audit every flow via
  * watchAll().
+ *
+ * `jobs` = 0 runs the single-queue kernel; >= 1 runs island mode on
+ * that many workers (chaos pipeline forked per island, one topology
+ * schedule replica each) — the chaos-under-parallelism configuration
+ * whose verdicts must match the sequential ones bit-for-bit.
  */
 exp::Metrics
 runTopoProbe(const std::string& fault, const std::string& verb,
-             std::size_t nodes, std::uint64_t seed)
+             std::size_t nodes, std::uint64_t seed, unsigned jobs = 0)
 {
     const auto wallStart = std::chrono::steady_clock::now();
     constexpr std::size_t opsPerLink = 30;
     constexpr std::uint64_t meshBufBytes = 16 * 1024;
 
-    Cluster cluster(rnic::DeviceProfile::connectX4(), nodes, seed);
+    ClusterOptions options;
+    options.sharded = jobs > 0;
+    options.jobs = jobs > 0 ? jobs : 1;
+    Cluster cluster(rnic::DeviceProfile::connectX4(), nodes, seed,
+                    net::LinkConfig{}, options);
 
     chaos::ChaosConfig cfg;
     cfg.seed = seed;
@@ -182,7 +191,10 @@ runTopoProbe(const std::string& fault, const std::string& verb,
         topo.setDefaultPlan({Time::us(500), Time::us(100)});
         engine.attachTopology(topo);
     }
-    engine.install(cluster.fabric());
+    if (cluster.sharded())
+        engine.installSharded(cluster.fabric());
+    else
+        engine.install(cluster.fabric());
     chaos::InvariantMonitor monitor(cluster.fabric());
 
     // One flow per ring link i -> (i+1) % nodes.
@@ -293,7 +305,9 @@ runTopoProbe(const std::string& fault, const std::string& verb,
         .set("completed", completed)
         .set("violations",
              static_cast<double>(monitor.violationCount()))
-        .set("flaps", static_cast<double>(topo.totalFlaps()))
+        .set("flaps", static_cast<double>(cluster.sharded()
+                                              ? engine.shardedFlaps()
+                                              : topo.totalFlaps()))
         .set("dropped",
              static_cast<double>(cluster.fabric().totalDropped()));
 }
@@ -395,6 +409,59 @@ registerChaosProbe(exp::Registry& registry)
                  "drop accounting (U3) and fire-and-forget\ncontracts "
                  "(U1/V1/V2/V3) under per-link flap schedules and "
                  "forged NAKs\nrewound into coalesced ACK ranges.");
+
+             // Chaos under parallelism: the same probe on a 64-node
+             // mesh driven by the sharded kernel. Every cell runs the
+             // SAME seed twice — jobs = 1 (the inline windowed
+             // reference) and jobs = N workers — and seq_match asserts
+             // that everything observable about the simulation (virtual
+             // duration, drops, flap windows, oracle verdict,
+             // completion) is bit-identical; only wall clock may move.
+             exp::Sweep sharded;
+             sharded.axis("fault", std::vector<std::string>{
+                                       "dup", "mesh_flap"});
+             sharded.axis("verb", std::vector<std::string>{"atomic"});
+             sharded.axis("nodes", std::vector<double>{64}, 0);
+             sharded.axis("jobs", std::vector<double>{2, 4}, 0);
+
+             auto sresult = ctx.runner("chaos_topology_sharded")
+                                .run(sharded, trials,
+                                     [](const exp::Cell& cell,
+                                        std::uint64_t seed) {
+                 const auto nodes =
+                     static_cast<std::size_t>(cell.num("nodes"));
+                 const auto jobs =
+                     static_cast<unsigned>(cell.num("jobs"));
+                 const exp::Metrics seq = runTopoProbe(
+                     cell.str("fault"), cell.str("verb"), nodes, seed,
+                     1);
+                 exp::Metrics par = runTopoProbe(
+                     cell.str("fault"), cell.str("verb"), nodes, seed,
+                     jobs);
+                 bool match = true;
+                 for (const char* m : {"total_s", "dropped", "flaps",
+                                       "violations", "completed"})
+                     match = match && seq.get(m) == par.get(m);
+                 par.set("seq_match", match);
+                 return par;
+             });
+
+             auto scolumns = columns;
+             scolumns.push_back(exp::col("seq_match", exp::Stat::PctMean,
+                                         0, "seq_match%"));
+             auto ssink = ctx.sink("chaos_topology_sharded");
+             ssink.table(
+                 "Chaos topology probe, island mode: 64-node mesh on "
+                 "the sharded kernel\n   (each cell replays its seed at "
+                 "jobs=1 and jobs=N; seq_match must be 100)",
+                 sresult, scolumns);
+             ssink.note(
+                 "One island per node, chaos pipeline forked per "
+                 "island (disjoint RNG streams,\nper-island flap-"
+                 "schedule replicas). seq_match compares the jobs=N "
+                 "run against the\ninline jobs=1 reference on the same "
+                 "seed: virtual duration, drops, flap windows,\noracle "
+                 "verdict and completion must all be bit-identical.");
          }});
 }
 

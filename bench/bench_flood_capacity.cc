@@ -44,6 +44,12 @@ struct CapacityResult
     double wallNs = 0;
     std::uint64_t violations = 0;
     bool completed = false;
+    std::uint64_t traceHash = 0;
+    /** Island-mode observability (zero in single-queue runs). */
+    std::uint64_t barriers = 0;
+    std::uint64_t channelParcels = 0;
+    std::uint64_t islandEventsMax = 0;
+    std::uint64_t islandEventsMin = 0;
 };
 
 /**
@@ -52,15 +58,25 @@ struct CapacityResult
  * (each response DMA faults, provoking the flood machinery). Two posting
  * waves; with `audit` the invariant monitor late-attaches between them,
  * so wave 1 is pre-attach history and wave 2 is fully checked.
+ *
+ * `jobs` = 0 runs the historical single-queue kernel; >= 1 runs island
+ * mode (one island per node) with that many workers — jobs = 1 being the
+ * windowed algorithm inline, the "sequential" reference every jobs > 1
+ * run must match bit-for-bit.
  */
 CapacityResult
 runCapacityTrial(std::size_t qps, std::size_t pairs,
-                 std::size_t ops_per_wave, bool audit, std::uint64_t seed)
+                 std::size_t ops_per_wave, bool audit, std::uint64_t seed,
+                 unsigned jobs = 0)
 {
     const std::size_t qpsPerPair = qps / pairs;
     constexpr std::uint64_t bytesPerQp = 4096;  // one ODP page per QP
 
-    Cluster cluster(rnic::DeviceProfile::connectX4(), 2 * pairs, seed);
+    ClusterOptions options;
+    options.sharded = jobs > 0;
+    options.jobs = jobs > 0 ? jobs : 1;
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 2 * pairs, seed,
+                    net::LinkConfig{}, options);
     struct Pair
     {
         Node* client;
@@ -145,6 +161,14 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
                                 std::chrono::nanoseconds>(stop - start)
                                 .count());
     result.violations = monitor ? monitor->violationCount() : 0;
+    result.traceHash = monitor ? monitor->traceHash() : 0;
+    if (ShardedKernel* kernel = cluster.shardedKernel()) {
+        const auto ks = kernel->kernelStats();
+        result.barriers = ks.barriers;
+        result.channelParcels = ks.channelParcels;
+        result.islandEventsMax = ks.maxIslandExecuted;
+        result.islandEventsMin = ks.minIslandExecuted;
+    }
     return result;
 }
 
@@ -216,6 +240,77 @@ registerFloodCapacity(exp::Registry& registry)
                  "oracle=late cells audit the run with\n"
                  "InvariantMonitor::watchAll() attached mid-run (late "
                  "attach) and must stay at\nviolations = 0.");
+
+             // Island-mode scaling: the same flood on a 64-node mesh
+             // under the sharded kernel, workers swept 1..8. jobs = 1 is
+             // the inline windowed reference; check_bench_regression.py
+             // derives speedup_vs_seq from these rows.
+             constexpr std::size_t parallelPairs = 32;
+             exp::Sweep parallel;
+             parallel.axis("nodes", {2.0 * parallelPairs}, 0)
+                 .axis("qps", {16384.0}, 0)
+                 .axis("jobs", {1.0, 2.0, 4.0, 8.0}, 0);
+
+             auto presult = local.runner("flood_capacity_parallel")
+                                .run(parallel, trials,
+                                     [opsPerWave](const exp::Cell& cell,
+                                                  std::uint64_t seed) {
+                     const auto qps =
+                         static_cast<std::size_t>(cell.num("qps"));
+                     const auto jobs =
+                         static_cast<unsigned>(cell.num("jobs"));
+                     const CapacityResult r = runCapacityTrial(
+                         qps, parallelPairs, opsPerWave, false, seed,
+                         jobs);
+                     const double perPkt =
+                         r.packets > 0
+                             ? r.wallNs / static_cast<double>(r.packets)
+                             : 0.0;
+                     const double imbalance =
+                         r.islandEventsMin > 0
+                             ? static_cast<double>(r.islandEventsMax) /
+                                   static_cast<double>(r.islandEventsMin)
+                             : 0.0;
+                     return exp::Metrics{}
+                         .set("ns_per_packet", perPkt)
+                         .set("packets_per_s",
+                              perPkt > 0 ? 1e9 / perPkt : 0.0)
+                         .set("packets_k",
+                              static_cast<double>(r.packets) / 1e3)
+                         .set("completed", r.completed ? 1.0 : 0.0)
+                         .set("barriers",
+                              static_cast<double>(r.barriers))
+                         .set("channel_pkts",
+                              static_cast<double>(r.channelParcels))
+                         .set("island_events_max",
+                              static_cast<double>(r.islandEventsMax))
+                         .set("island_events_min",
+                              static_cast<double>(r.islandEventsMin))
+                         .set("imbalance", imbalance);
+                 });
+
+             auto psink = local.sink("flood_capacity_parallel");
+             psink.table(
+                 "Island-mode scaling on a 64-node mesh (sharded "
+                 "kernel; wall clock)",
+                 presult,
+                 {exp::col("ns_per_packet", exp::Stat::Mean, 1,
+                           "ns/pkt"),
+                  exp::col("packets_k", exp::Stat::Mean, 1, "packets_k"),
+                  exp::col("barriers", exp::Stat::Mean, 0, "barriers"),
+                  exp::col("channel_pkts", exp::Stat::Mean, 0,
+                           "chan_pkts"),
+                  exp::col("imbalance", exp::Stat::Mean, 2, "imbalance"),
+                  exp::col("completed", exp::Stat::Mean, 2,
+                           "completed")});
+             psink.note(
+                 "One island per node, conservative lookahead = link "
+                 "latency + per-packet overhead.\njobs=1 runs the "
+                 "windowed algorithm inline (the sequential reference); "
+                 "every jobs>1 run\nis bit-identical to it. Speedup "
+                 "needs real cores: single-CPU machines will show\n"
+                 "jobs>1 slower, and the regression gate reports "
+                 "speedup_vs_seq from these rows.");
          }});
 }
 

@@ -14,48 +14,114 @@ ChaosEngine::ChaosEngine(EventQueue& events, const ChaosConfig& config)
       rng_(exp::SeedStream("chaos.engine", config.seed).base()),
       injector_(config.seed)
 {
+    buildStages(injector_, config_);
+}
+
+ChaosEngine::~ChaosEngine() = default;
+
+void
+ChaosEngine::buildStages(FaultInjector& injector, const ChaosConfig& config)
+{
     // Canonical stage order: timing faults first (they keep the packet),
     // then duplication and corruption, then the drop classes, then
     // injection of new traffic. A fixed order keeps equal configs
     // producing equal schedules.
-    if (config_.delayRate > 0.0) {
-        injector_.addStage(std::make_unique<DelayStage>(
-            config_.filter, config_.delayRate, config_.delayMin,
-            config_.delayMax));
+    if (config.delayRate > 0.0) {
+        injector.addStage(std::make_unique<DelayStage>(
+            config.filter, config.delayRate, config.delayMin,
+            config.delayMax));
     }
-    if (config_.reorderRate > 0.0) {
-        injector_.addStage(std::make_unique<ReorderStage>(
-            config_.filter, config_.reorderRate, config_.reorderMaxHold));
+    if (config.reorderRate > 0.0) {
+        injector.addStage(std::make_unique<ReorderStage>(
+            config.filter, config.reorderRate, config.reorderMaxHold));
     }
-    if (config_.dupRate > 0.0) {
-        injector_.addStage(std::make_unique<DuplicateStage>(
-            config_.filter, config_.dupRate, config_.dupMaxDelay));
+    if (config.dupRate > 0.0) {
+        injector.addStage(std::make_unique<DuplicateStage>(
+            config.filter, config.dupRate, config.dupMaxDelay));
     }
-    if (config_.corruptRate > 0.0) {
-        injector_.addStage(std::make_unique<CorruptStage>(
-            config_.filter, config_.corruptRate, config_.corruptEvadeCrc));
+    if (config.corruptRate > 0.0) {
+        injector.addStage(std::make_unique<CorruptStage>(
+            config.filter, config.corruptRate, config.corruptEvadeCrc));
     }
-    if (config_.flapDown > Time()) {
-        injector_.addStage(std::make_unique<LinkFlapStage>(
-            config_.filter, config_.flapPeriod, config_.flapDown));
+    if (config.flapDown > Time()) {
+        injector.addStage(std::make_unique<LinkFlapStage>(
+            config.filter, config.flapPeriod, config.flapDown));
     }
-    if (config_.dropRate > 0.0) {
-        injector_.addStage(std::make_unique<DropStage>(config_.filter,
-                                                       config_.dropRate));
+    if (config.dropRate > 0.0) {
+        injector.addStage(std::make_unique<DropStage>(config.filter,
+                                                      config.dropRate));
     }
-    if (config_.forgedNakRate > 0.0) {
-        PacketFilter requests = config_.filter;
+    if (config.forgedNakRate > 0.0) {
+        PacketFilter requests = config.filter;
         requests.requestsOnly = true;
-        injector_.addStage(std::make_unique<ForgedNakStage>(
-            requests, config_.forgedNakRate, net::Opcode::Nak,
-            Time::ms(1.28), config_.forgedNakMaxRewind));
+        injector.addStage(std::make_unique<ForgedNakStage>(
+            requests, config.forgedNakRate, net::Opcode::Nak,
+            Time::ms(1.28), config.forgedNakMaxRewind));
     }
 }
 
 void
 ChaosEngine::attachTopology(Topology& topology)
 {
+    topology_ = &topology;
     injector_.addStage(std::make_unique<TopologyStage>(topology));
+}
+
+void
+ChaosEngine::installSharded(net::Fabric& fabric)
+{
+    // One pipeline fork per island: same stage list as install(), a
+    // disjoint RNG stream each. Topology replicas replay the identical
+    // flap windows (schedules are pure functions of (seed, link, time));
+    // they exist because linkUp() advances per-link cursors, which must
+    // not be shared across workers.
+    const exp::SeedStream fork("chaos.engine.island", config_.seed);
+    islandInjectors_.clear();
+    topoReplicas_.clear();
+    for (std::size_t i = 0; i < fabric.islandCount(); ++i) {
+        auto injector = std::make_unique<FaultInjector>(fork.trialSeed(0, i));
+        buildStages(*injector, config_);
+        if (topology_ != nullptr) {
+            topoReplicas_.push_back(std::make_unique<Topology>(*topology_));
+            injector->addStage(
+                std::make_unique<TopologyStage>(*topoReplicas_.back()));
+        }
+        fabric.setIslandFaultHook(i, injector.get());
+        islandInjectors_.push_back(std::move(injector));
+    }
+}
+
+FaultInjector&
+ChaosEngine::islandInjector(std::size_t island)
+{
+    return *islandInjectors_.at(island);
+}
+
+InjectorStats
+ChaosEngine::shardedStats() const
+{
+    InjectorStats total;
+    for (const auto& injector : islandInjectors_) {
+        const InjectorStats& s = injector->stats();
+        total.packetsSeen += s.packetsSeen;
+        total.delayed += s.delayed;
+        total.reordered += s.reordered;
+        total.duplicated += s.duplicated;
+        total.corrupted += s.corrupted;
+        total.dropped += s.dropped;
+        total.flapDropped += s.flapDropped;
+        total.naksForged += s.naksForged;
+    }
+    return total;
+}
+
+std::uint64_t
+ChaosEngine::shardedFlaps() const
+{
+    std::uint64_t total = 0;
+    for (const auto& topo : topoReplicas_)
+        total += topo->totalFlaps();
+    return total;
 }
 
 void

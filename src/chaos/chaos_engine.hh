@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "chaos/fault_injector.hh"
 #include "net/fabric.hh"
@@ -86,6 +88,7 @@ class ChaosEngine
 {
   public:
     ChaosEngine(EventQueue& events, const ChaosConfig& config);
+    ~ChaosEngine();
 
     ChaosEngine(const ChaosEngine&) = delete;
     ChaosEngine& operator=(const ChaosEngine&) = delete;
@@ -96,7 +99,31 @@ class ChaosEngine
     /** Remove the wire pipeline from @p fabric. */
     void uninstall(net::Fabric& fabric) { fabric.setFaultHook(nullptr); }
 
+    /**
+     * Island-mode install: build one FaultInjector per island of an
+     * island-mode fabric — same stage pipeline as install(), but each
+     * fork draws from its own SeedStream-derived RNG (disjoint per
+     * island, so the campaign is deterministic at any worker count) and,
+     * when attachTopology() was called first, consults its own replica
+     * of the topology's flap schedule (link schedules are pure functions
+     * of (seed, link, time), so every replica replays the same windows;
+     * replicas exist because schedule cursors mutate on query). Call
+     * after attachTopology() and after every node exists.
+     */
+    void installSharded(net::Fabric& fabric);
+
     FaultInjector& injector() { return injector_; }
+
+    /** Per-island pipeline @p island (after installSharded()). */
+    FaultInjector& islandInjector(std::size_t island);
+
+    /** Summed InjectorStats over the per-island pipelines. */
+    InjectorStats shardedStats() const;
+
+    /** Summed completed down-windows over the per-island topology
+     * replicas (island-mode counterpart of Topology::totalFlaps()). */
+    std::uint64_t shardedFlaps() const;
+
     const ChaosConfig& config() const { return config_; }
 
     /**
@@ -154,12 +181,24 @@ class ChaosEngine
 
     void stormTick(Storm* storm);
 
+    /** Append the ChaosConfig-declared stages to @p injector. */
+    static void buildStages(FaultInjector& injector,
+                            const ChaosConfig& config);
+
     EventQueue& events_;
     ChaosConfig config_;
     Rng rng_;  ///< engine-side decisions (spikes, storms)
     FaultInjector injector_;
     std::deque<Storm> storms_;  ///< deque: stable addresses for callbacks
     EngineStats stats_;
+
+    /** @{ Island mode: per-island pipeline forks and topology replicas
+     * (unique_ptrs: Topology is incomplete here, and addresses must stay
+     * stable — TopologyStage holds a reference). */
+    Topology* topology_ = nullptr;
+    std::vector<std::unique_ptr<Topology>> topoReplicas_;
+    std::vector<std::unique_ptr<FaultInjector>> islandInjectors_;
+    /** @} */
 };
 
 } // namespace chaos

@@ -1,5 +1,6 @@
 #include "chaos/invariant_monitor.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "chaos/fault_injector.hh"
@@ -37,17 +38,30 @@ Violation::str() const
 
 InvariantMonitor::InvariantMonitor(net::Fabric& fabric) : fabric_(fabric)
 {
+    shards_.resize(fabric_.islandCount());
+    if (fabric_.sharded()) {
+        for (Shard& shard : shards_)
+            shard.out.resize(shards_.size());
+        fabric_.shardedKernel()->addBarrierAgent(this);
+    }
     fabric_.addTap([this](const net::Packet& pkt, bool dropped) {
         onEgress(pkt, dropped);
     });
+}
+
+InvariantMonitor::~InvariantMonitor()
+{
+    if (fabric_.sharded())
+        fabric_.shardedKernel()->removeBarrierAgent(this);
 }
 
 void
 InvariantMonitor::watch(rnic::Rnic& rnic, rnic::QpContext& qp)
 {
     const FlowKey key{rnic.lid(), qp.qpn};
-    const bool fresh = flows_.find(key) == flows_.end();
-    FlowState& st = flows_[key];
+    auto& flows = shardOf(rnic.lid()).flows;
+    const bool fresh = flows.find(key) == flows.end();
+    FlowState& st = flows[key];
     st.rnic = &rnic;
     st.qp = &qp;
     if (fresh) {
@@ -85,37 +99,54 @@ InvariantMonitor::watchAll(Cluster& cluster)
     }
 }
 
+InvariantMonitor::Shard&
+InvariantMonitor::shardOf(std::uint16_t lid)
+{
+    return shards_[fabric_.sharded() ? fabric_.islandOf(lid) : 0];
+}
+
+InvariantMonitor::Shard&
+InvariantMonitor::egressShard()
+{
+    return shards_[fabric_.egressIsland()];
+}
+
 InvariantMonitor::FlowState*
 InvariantMonitor::flow(std::uint16_t lid, std::uint32_t qpn)
 {
-    auto it = flows_.find({lid, qpn});
-    return it == flows_.end() ? nullptr : &it->second;
+    auto& flows = shardOf(lid).flows;
+    auto it = flows.find({lid, qpn});
+    return it == flows.end() ? nullptr : &it->second;
 }
 
 void
-InvariantMonitor::emit(const std::string& invariant, std::uint16_t lid,
-                       std::uint32_t qpn, const std::string& detail)
+InvariantMonitor::emit(Shard& shard, const std::string& invariant, Time at,
+                       std::uint16_t lid, std::uint32_t qpn,
+                       const std::string& detail)
 {
-    ++totalViolations_;
-    if (violations_.size() < storedCap) {
-        violations_.push_back(
-            {invariant, fabric_.events().now(), lid, qpn, detail});
-    }
+    ++shard.violationCount;
+    if (shard.violations.size() < storedCap)
+        shard.violations.push_back({invariant, at, lid, qpn, detail});
 }
 
 void
 InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
 {
-    ++packetsObserved_;
-    traceHash_ = mix(traceHash_, static_cast<std::uint64_t>(pkt.op));
-    traceHash_ = mix(traceHash_, (std::uint64_t(pkt.srcLid) << 16) |
+    // Everything below mutates only the executing island's shard — the
+    // source flow of every non-injected packet lives on that island
+    // (fabric routing), injected packets only touch the hash and the
+    // source-flow attribution flag. The two remote-flow checks defer.
+    Shard& shard = egressShard();
+    ++shard.packetsObserved;
+    shard.hash = mix(shard.hash, static_cast<std::uint64_t>(pkt.op));
+    shard.hash = mix(shard.hash, (std::uint64_t(pkt.srcLid) << 16) |
                                      pkt.dstLid);
-    traceHash_ = mix(traceHash_, (std::uint64_t(pkt.srcQpn) << 32) |
+    shard.hash = mix(shard.hash, (std::uint64_t(pkt.srcQpn) << 32) |
                                      pkt.dstQpn);
-    traceHash_ = mix(traceHash_, pkt.psn);
-    traceHash_ = mix(traceHash_, (std::uint64_t(pkt.length) << 32) |
+    shard.hash = mix(shard.hash, pkt.psn);
+    shard.hash = mix(shard.hash, (std::uint64_t(pkt.length) << 32) |
                                      (pkt.segIndex << 8) | pkt.segCount);
-    traceHash_ = mix(traceHash_,
+    shard.hash = mix(shard.hash,
                      (std::uint64_t(pkt.chaosFlags) << 8) |
                          (std::uint64_t(pkt.retransmission) << 2) |
                          (std::uint64_t(pkt.dammed) << 1) |
@@ -141,14 +172,16 @@ InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
     }
 
     if (isRequestOpcode(pkt.op))
-        onRequestEgress(pkt, dropped);
+        onRequestEgress(shard, pkt, dropped);
     else
-        onResponseEgress(pkt, dropped);
+        onResponseEgress(shard, pkt, dropped);
 }
 
 void
-InvariantMonitor::onRequestEgress(const net::Packet& pkt, bool dropped)
+InvariantMonitor::onRequestEgress(Shard& shard, const net::Packet& pkt,
+                                  bool dropped)
 {
+    const Time now = fabric_.islandEvents(fabric_.egressIsland()).now();
     FlowState* st = flow(pkt.srcLid, pkt.srcQpn);
     if (st != nullptr && st->qp != nullptr) {
         const rnic::QpContext& qp = *st->qp;
@@ -164,24 +197,24 @@ InvariantMonitor::onRequestEgress(const net::Packet& pkt, bool dropped)
         const verbs::Transport transport = qp.config.transport;
         if (transport == verbs::Transport::Ud) {
             if (pkt.op != net::Opcode::Send) {
-                emit("ud-verb", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "ud-verb", now, pkt.srcLid, pkt.srcQpn,
                      std::string(net::opcodeName(pkt.op)) +
                          " emitted by a UD flow (SEND only)");
             }
             if (pkt.retransmission) {
-                emit("ud-no-retransmit", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "ud-no-retransmit", now, pkt.srcLid, pkt.srcQpn,
                      "UD datagram psn=" + std::to_string(pkt.psn) +
                          " marked as a retransmission");
             }
         } else if (transport == verbs::Transport::Uc) {
             if (pkt.op != net::Opcode::Send &&
                 pkt.op != net::Opcode::WriteRequest) {
-                emit("uc-verb", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "uc-verb", now, pkt.srcLid, pkt.srcQpn,
                      std::string(net::opcodeName(pkt.op)) +
                          " emitted by a UC flow (SEND/WRITE only)");
             }
             if (pkt.retransmission) {
-                emit("uc-no-retransmit", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "uc-no-retransmit", now, pkt.srcLid, pkt.srcQpn,
                      "UC psn=" + std::to_string(pkt.psn) +
                          " marked as a retransmission");
             }
@@ -196,27 +229,27 @@ InvariantMonitor::onRequestEgress(const net::Packet& pkt, bool dropped)
             for (std::uint32_t i = 0; i < span; ++i) {
                 const std::uint32_t p = (pkt.psn + i) & 0xffffff;
                 if (!st->freshSeen.insert(p).second) {
-                    emit("fresh-once", pkt.srcLid, pkt.srcQpn,
+                    emit(shard, "fresh-once", now, pkt.srcLid, pkt.srcQpn,
                          "fresh " + std::string(net::opcodeName(pkt.op)) +
                              " reuses psn=" + std::to_string(p));
                 }
             }
             if (rnic::psnDiff(last, qp.nextPsn) >= 0) {
-                emit("fresh-posted", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "fresh-posted", now, pkt.srcLid, pkt.srcQpn,
                      "fresh psn=" + std::to_string(pkt.psn) +
                          " beyond posted range (nextPsn=" +
                          std::to_string(qp.nextPsn) + ")");
             }
         } else if (transport == verbs::Transport::Rc) {
             if (rnic::psnDiff(last, qp.nextPsn) >= 0) {
-                emit("retrans-posted", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "retrans-posted", now, pkt.srcLid, pkt.srcQpn,
                      "retransmitted psn=" + std::to_string(pkt.psn) +
                          " beyond posted range (nextPsn=" +
                          std::to_string(qp.nextPsn) + ")");
             }
             if (!qp.outstanding.empty() &&
                 rnic::psnDiff(pkt.psn, qp.outstanding.front().psn) < 0) {
-                emit("retrans-window", pkt.srcLid, pkt.srcQpn,
+                emit(shard, "retrans-window", now, pkt.srcLid, pkt.srcQpn,
                      "retransmitted psn=" + std::to_string(pkt.psn) +
                          " below go-back-N window head=" +
                          std::to_string(qp.outstanding.front().psn));
@@ -231,20 +264,42 @@ InvariantMonitor::onRequestEgress(const net::Packet& pkt, bool dropped)
     // so "already executed" here still holds at delivery). Excluded:
     // packets that never arrive (dropped), dammed exchanges (lost by the
     // quirk before the responder sees them), and error-state responders.
+    // A responder on another island is judged at the next window barrier
+    // instead — still before the request's delivery, so the same
+    // only-advances argument applies.
     if (pkt.op == net::Opcode::AtomicRequest && !dropped && !pkt.dammed) {
-        FlowState* resp = flow(pkt.dstLid, pkt.dstQpn);
-        if (resp != nullptr && resp->qp != nullptr &&
-            resp->qp->config.transport == verbs::Transport::Rc &&
-            !resp->qp->errorState &&
-            rnic::psnDiff(pkt.psn, resp->qp->expectedPsn) < 0) {
-            ++resp->atomicMustAnswer[pkt.psn];
+        const std::size_t dstIsland =
+            fabric_.sharded() ? fabric_.islandOf(pkt.dstLid) : 0;
+        if (fabric_.sharded() && dstIsland != fabric_.egressIsland()) {
+            shard.out[dstIsland].push_back({now, pkt.wireId, 0, pkt.op,
+                                            pkt.dstLid, pkt.dstQpn,
+                                            pkt.psn});
+        } else {
+            judgeAtomicMustAnswer(pkt.dstLid, pkt.dstQpn, pkt.psn);
         }
     }
 }
 
 void
-InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
+InvariantMonitor::judgeAtomicMustAnswer(std::uint16_t dst_lid,
+                                        std::uint32_t dst_qpn,
+                                        std::uint32_t psn)
 {
+    FlowState* resp = flow(dst_lid, dst_qpn);
+    if (resp != nullptr && resp->qp != nullptr &&
+        resp->qp->config.transport == verbs::Transport::Rc &&
+        !resp->qp->errorState &&
+        rnic::psnDiff(psn, resp->qp->expectedPsn) < 0) {
+        ++resp->atomicMustAnswer[psn];
+    }
+}
+
+void
+InvariantMonitor::onResponseEgress(Shard& shard, const net::Packet& pkt,
+                                   bool /*dropped*/)
+{
+    const Time now = fabric_.islandEvents(fabric_.egressIsland()).now();
+
     // Responder-role checks, judged against the emitting (source) flow.
     FlowState* rs = flow(pkt.srcLid, pkt.srcQpn);
     if (rs != nullptr && rs->qp != nullptr) {
@@ -252,9 +307,10 @@ InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
         if (transport == verbs::Transport::Ud ||
             transport == verbs::Transport::Uc) {
             // V2: no ACK/NAK/response machinery exists for UD/UC.
-            emit(transport == verbs::Transport::Ud ? "ud-one-way"
+            emit(shard,
+                 transport == verbs::Transport::Ud ? "ud-one-way"
                                                    : "uc-one-way",
-                 pkt.srcLid, pkt.srcQpn,
+                 now, pkt.srcLid, pkt.srcQpn,
                  std::string(net::opcodeName(pkt.op)) +
                      " emitted by a one-way flow");
         } else {
@@ -265,7 +321,8 @@ InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
                 auto [it, first] =
                     rs->atomicRespPayload.try_emplace(pkt.psn, pkt.payload);
                 if (!first && it->second != pkt.payload) {
-                    emit("atomic-replay-value", pkt.srcLid, pkt.srcQpn,
+                    emit(shard, "atomic-replay-value", now, pkt.srcLid,
+                         pkt.srcQpn,
                          "atomic psn=" + std::to_string(pkt.psn) +
                              " answered with a different value than its "
                              "first response (responder re-executed)");
@@ -293,7 +350,8 @@ InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
                 if (pkt.op == net::Opcode::AtomicResponse) {
                     if (rs->anyFreshData &&
                         rnic::psnDiff(pkt.psn, rs->lastFreshDataPsn) <= 0) {
-                        emit("atomic-serialization", pkt.srcLid, pkt.srcQpn,
+                        emit(shard, "atomic-serialization", now, pkt.srcLid,
+                             pkt.srcQpn,
                              "fresh atomic response psn=" +
                                  std::to_string(pkt.psn) +
                                  " does not serialize after data response "
@@ -308,7 +366,8 @@ InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
                     if (rs->anyFreshAtomic &&
                         rnic::psnDiff(pkt.psn, rs->lastFreshAtomicPsn) <=
                             0) {
-                        emit("atomic-serialization", pkt.srcLid, pkt.srcQpn,
+                        emit(shard, "atomic-serialization", now, pkt.srcLid,
+                             pkt.srcQpn,
                              "fresh read response psn=" +
                                  std::to_string(pkt.psn) +
                                  " emitted at/below answered atomic psn=" +
@@ -323,15 +382,36 @@ InvariantMonitor::onResponseEgress(const net::Packet& pkt, bool /*dropped*/)
 
     // W4: judge the response against the requester (the destination
     // flow) it acknowledges. RC only — one-way flows never expect one.
-    FlowState* st = flow(pkt.dstLid, pkt.dstQpn);
+    // A requester on another island is judged at the next window
+    // barrier: nextPsn only advances and the barrier precedes the
+    // response's arrival, so the barrier-time check is exactly the
+    // invariant's arrival-time meaning.
+    const std::size_t dstIsland =
+        fabric_.sharded() ? fabric_.islandOf(pkt.dstLid) : 0;
+    if (fabric_.sharded() && dstIsland != fabric_.egressIsland()) {
+        shard.out[dstIsland].push_back(
+            {now, pkt.wireId, 1, pkt.op, pkt.dstLid, pkt.dstQpn, pkt.psn});
+        return;
+    }
+    judgeAckCoherence(shardOf(pkt.dstLid), now, pkt.op, pkt.dstLid,
+                      pkt.dstQpn, pkt.psn);
+}
+
+void
+InvariantMonitor::judgeAckCoherence(Shard& shard, Time at, net::Opcode op,
+                                    std::uint16_t dst_lid,
+                                    std::uint32_t dst_qpn,
+                                    std::uint32_t psn)
+{
+    FlowState* st = flow(dst_lid, dst_qpn);
     if (st == nullptr || st->qp == nullptr ||
         st->qp->config.transport != verbs::Transport::Rc) {
         return;
     }
-    if (rnic::psnDiff(pkt.psn, st->qp->nextPsn) >= 0) {
-        emit("ack-coherence", pkt.dstLid, pkt.dstQpn,
-             std::string(net::opcodeName(pkt.op)) + " references psn=" +
-                 std::to_string(pkt.psn) +
+    if (rnic::psnDiff(psn, st->qp->nextPsn) >= 0) {
+        emit(shard, "ack-coherence", at, dst_lid, dst_qpn,
+             std::string(net::opcodeName(op)) + " references psn=" +
+                 std::to_string(psn) +
                  " never posted by the requester (nextPsn=" +
                  std::to_string(st->qp->nextPsn) + ")");
     }
@@ -349,7 +429,8 @@ InvariantMonitor::onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
     // Holds for every transport: UC/UD assign from the same counter.
     if (st->anyPostSeen &&
         rnic::psnDiff(qp.nextPsn, st->lastNextPsn) < 0) {
-        emit("psn-monotonic", lid, qp.qpn,
+        emit(shardOf(lid), "psn-monotonic",
+             fabric_.islandEvents(fabric_.islandOf(lid)).now(), lid, qp.qpn,
              "nextPsn regressed " + std::to_string(st->lastNextPsn) +
                  " -> " + std::to_string(qp.nextPsn));
     }
@@ -384,7 +465,9 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
         ++st->recvCompleted;
         const std::uint64_t done = ++st->recvCompletedByWr[wc.wrId];
         if (done > st->recvPostedByWr[wc.wrId]) {
-            emit("recv-exactly-once", lid, wc.qpn,
+            emit(shardOf(lid), "recv-exactly-once",
+                 fabric_.islandEvents(fabric_.islandOf(lid)).now(), lid,
+                 wc.qpn,
                  "wrId=" + std::to_string(wc.wrId) + " completed " +
                      std::to_string(done) + "x but posted " +
                      std::to_string(st->recvPostedByWr[wc.wrId]) + "x");
@@ -398,7 +481,9 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
     ++st->sendCompleted;
     const std::uint64_t done = ++st->sendCompletedByWr[wc.wrId];
     if (done > st->sendPostedByWr[wc.wrId]) {
-        emit("send-exactly-once", lid, wc.qpn,
+        emit(shardOf(lid), "send-exactly-once",
+             fabric_.islandEvents(fabric_.islandOf(lid)).now(), lid,
+             wc.qpn,
              "wrId=" + std::to_string(wc.wrId) + " completed " +
                  std::to_string(done) + "x but posted " +
                  std::to_string(st->sendPostedByWr[wc.wrId]) + "x");
@@ -408,63 +493,107 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
 void
 InvariantMonitor::finalCheck()
 {
-    for (auto& [key, st] : flows_) {
-        if (st.sendCompleted != st.sendPosted) {
-            emit("send-completion-missing", key.lid, key.qpn,
-                 std::to_string(st.sendPosted) + " send WRs posted but " +
-                     std::to_string(st.sendCompleted) + " completed");
-        }
+    // Runs after the simulation (never from a worker); shards are
+    // visited in island order, so the output is worker-count-invariant.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = shards_[i];
+        const Time at = fabric_.islandEvents(i).now();
+        for (auto& [key, st] : shard.flows) {
+            if (st.sendCompleted != st.sendPosted) {
+                emit(shard, "send-completion-missing", at, key.lid, key.qpn,
+                     std::to_string(st.sendPosted) +
+                         " send WRs posted but " +
+                         std::to_string(st.sendCompleted) + " completed");
+            }
 
-        // A1: every delivered executed-range duplicate atomic must have
-        // drawn an answer (replay cache, RNR or access NAK) by drain.
-        // Stand down when the injector corrupted a replay answer in
-        // flight: the ledger can no longer attribute answers to PSNs.
-        if (!st.atomicAnswerAttributionLost) {
-            for (const auto& [psn, must] : st.atomicMustAnswer) {
-                const auto it = st.atomicAnswered.find(psn);
-                const std::uint64_t answered =
-                    it == st.atomicAnswered.end() ? 0 : it->second;
-                if (answered < must) {
-                    emit("atomic-replay-lost", key.lid, key.qpn,
-                         "duplicate atomic psn=" + std::to_string(psn) +
-                             " delivered " + std::to_string(must) +
-                             "x but answered " + std::to_string(answered) +
-                             "x (replay cache lost a required record)");
+            // A1: every delivered executed-range duplicate atomic must
+            // have drawn an answer (replay cache, RNR or access NAK) by
+            // drain. Stand down when the injector corrupted a replay
+            // answer in flight: the ledger can no longer attribute
+            // answers to PSNs.
+            if (!st.atomicAnswerAttributionLost) {
+                for (const auto& [psn, must] : st.atomicMustAnswer) {
+                    const auto it = st.atomicAnswered.find(psn);
+                    const std::uint64_t answered =
+                        it == st.atomicAnswered.end() ? 0 : it->second;
+                    if (answered < must) {
+                        emit(shard, "atomic-replay-lost", at, key.lid,
+                             key.qpn,
+                             "duplicate atomic psn=" + std::to_string(psn) +
+                                 " delivered " + std::to_string(must) +
+                                 "x but answered " +
+                                 std::to_string(answered) +
+                                 "x (replay cache lost a required record)");
+                    }
                 }
             }
-        }
 
-        // U3: datagrams delivered to a UD flow reconcile exactly as RECV
-        // completions plus counted drops — nothing vanishes silently.
-        // (Late-attach flows skip pre-attach completions, so the books
-        // cannot balance; they are excluded.)
-        if (st.qp != nullptr && !st.lateAttach &&
-            st.qp->config.transport == verbs::Transport::Ud) {
-            const auto& qs = st.qp->stats;
-            if (qs.udDeliveredSends != st.recvCompleted + qs.udDrops) {
-                emit("ud-silent-drop", key.lid, key.qpn,
-                     std::to_string(qs.udDeliveredSends) +
-                         " datagrams delivered but " +
-                         std::to_string(st.recvCompleted) +
-                         " received + " + std::to_string(qs.udDrops) +
-                         " counted drops");
+            // U3: datagrams delivered to a UD flow reconcile exactly as
+            // RECV completions plus counted drops — nothing vanishes
+            // silently. (Late-attach flows skip pre-attach completions,
+            // so the books cannot balance; they are excluded.)
+            if (st.qp != nullptr && !st.lateAttach &&
+                st.qp->config.transport == verbs::Transport::Ud) {
+                const auto& qs = st.qp->stats;
+                if (qs.udDeliveredSends != st.recvCompleted + qs.udDrops) {
+                    emit(shard, "ud-silent-drop", at, key.lid, key.qpn,
+                         std::to_string(qs.udDeliveredSends) +
+                             " datagrams delivered but " +
+                             std::to_string(st.recvCompleted) +
+                             " received + " + std::to_string(qs.udDrops) +
+                             " counted drops");
+                }
             }
         }
     }
 }
 
+std::uint64_t
+InvariantMonitor::flushInbound(std::size_t island)
+{
+    Shard& dst = shards_[island];
+    std::vector<CrossRecord>& in = dst.inbox;
+    in.clear();
+    for (Shard& src : shards_) {
+        if (&src == &dst)
+            continue;
+        std::vector<CrossRecord>& channel = src.out[island];
+        in.insert(in.end(), channel.begin(), channel.end());
+        channel.clear();
+    }
+    if (in.empty())
+        return 0;
+
+    // Same canonical order as the fabric's parcel merge: deterministic
+    // whatever the worker count or source-island completion order.
+    std::sort(in.begin(), in.end(),
+              [](const CrossRecord& a, const CrossRecord& b) {
+                  return a.at != b.at ? a.at < b.at : a.wireId < b.wireId;
+              });
+    for (const CrossRecord& rec : in) {
+        if (rec.kind == 0)
+            judgeAtomicMustAnswer(rec.dstLid, rec.dstQpn, rec.psn);
+        else
+            judgeAckCoherence(dst, rec.at, rec.op, rec.dstLid, rec.dstQpn,
+                              rec.psn);
+    }
+    return in.size();
+}
+
 void
 InvariantMonitor::checkSwrel(const swrel::SoftReliableChannel& channel)
 {
+    Shard& shard = shards_.front();
+    const Time at = fabric_.events().now();
     if (channel.delivered().size() != channel.deliveredSeqCount()) {
-        emit("swrel-exactly-once", 0, 0,
+        emit(shard, "swrel-exactly-once", at, 0, 0,
              std::to_string(channel.delivered().size()) +
                  " deliveries for " +
                  std::to_string(channel.deliveredSeqCount()) +
                  " distinct sequence numbers");
     }
     if (channel.stats().delivered != channel.delivered().size()) {
-        emit("swrel-exactly-once", 0, 0,
+        emit(shard, "swrel-exactly-once", at, 0, 0,
              "delivered counter " +
                  std::to_string(channel.stats().delivered) +
                  " disagrees with delivery log size " +
@@ -472,27 +601,75 @@ InvariantMonitor::checkSwrel(const swrel::SoftReliableChannel& channel)
     }
     for (std::uint64_t seq = 1; seq <= channel.sentCount(); ++seq) {
         if (channel.acked(seq) && channel.failed(seq)) {
-            emit("swrel-exactly-once", 0, 0,
+            emit(shard, "swrel-exactly-once", at, 0, 0,
                  "seq=" + std::to_string(seq) +
                      " reported both acked and failed");
         }
     }
 }
 
+std::uint64_t
+InvariantMonitor::violationCount() const
+{
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+        total += shard.violationCount;
+    return total;
+}
+
+const std::vector<Violation>&
+InvariantMonitor::violations() const
+{
+    if (shards_.size() == 1)
+        return shards_.front().violations;
+    mergedViolations_.clear();
+    for (const Shard& shard : shards_) {
+        mergedViolations_.insert(mergedViolations_.end(),
+                                 shard.violations.begin(),
+                                 shard.violations.end());
+    }
+    return mergedViolations_;
+}
+
+std::uint64_t
+InvariantMonitor::traceHash() const
+{
+    // One shard: the raw stream — byte-identical to the pre-sharding
+    // monitor, so the repo's single-queue goldens stand. Several shards:
+    // fold the per-island streams in island order.
+    if (shards_.size() == 1)
+        return shards_.front().hash;
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const Shard& shard : shards_)
+        hash = mix(hash, shard.hash);
+    return hash;
+}
+
+std::uint64_t
+InvariantMonitor::packetsObserved() const
+{
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+        total += shard.packetsObserved;
+    return total;
+}
+
 std::string
 InvariantMonitor::report() const
 {
+    const std::uint64_t total = violationCount();
     std::string out = "invariant monitor: ";
-    if (totalViolations_ == 0) {
-        out += "clean (" + std::to_string(packetsObserved_) +
+    if (total == 0) {
+        out += "clean (" + std::to_string(packetsObserved()) +
                " packets observed)\n";
         return out;
     }
-    out += std::to_string(totalViolations_) + " violation(s)";
-    if (totalViolations_ > violations_.size())
-        out += " (first " + std::to_string(violations_.size()) + " shown)";
+    const std::vector<Violation>& stored = violations();
+    out += std::to_string(total) + " violation(s)";
+    if (total > stored.size())
+        out += " (first " + std::to_string(stored.size()) + " shown)";
     out += "\n";
-    for (const auto& v : violations_)
+    for (const auto& v : stored)
         out += "  " + v.str() + "\n";
     return out;
 }

@@ -75,12 +75,29 @@
  * Multi-node topologies: watchAll(cluster) attaches every QP of every
  * node, whatever its transport — the one-call attach for >2-node meshes
  * flapping under a chaos::Topology schedule (cluster/topology.hh).
+ *
+ * Island mode (fabric.sharded()): the monitor shards itself one-to-one
+ * with the fabric's islands. Each shard owns the flows of its island's
+ * LIDs, its own violation list and its own FNV hash stream, written only
+ * by the worker executing that island — no locks on the hot path. The
+ * two checks that read a *remote* flow's live QP state (A1 must-answer
+ * reads the responder's expectedPsn, W4 ack-coherence reads the
+ * requester's nextPsn) are deferred through cross-island channels and
+ * evaluated at the next window barrier in (time, wire-id) order, against
+ * state the owning island finished writing (the kernel's phase barrier
+ * provides the happens-before). Deferral is sound: expectedPsn/nextPsn
+ * only advance and the barrier lies between egress and delivery, so the
+ * barrier-time judgement matches the arrival-time meaning of both
+ * invariants. With one shard (single-queue mode) every path below
+ * collapses to the historical code, keeping the traceHash goldens.
  */
 
 #ifndef IBSIM_CHAOS_INVARIANT_MONITOR_HH
 #define IBSIM_CHAOS_INVARIANT_MONITOR_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -118,11 +135,17 @@ struct Violation
  * the workload, then consult violations() / report(); call finalCheck()
  * first if the workload is expected to have fully drained.
  */
-class InvariantMonitor
+class InvariantMonitor : public ShardedKernel::BarrierAgent
 {
   public:
-    /** Installs the egress tap on @p fabric. */
+    /**
+     * Installs the egress tap on @p fabric. When the fabric is in island
+     * mode the monitor shards its state per island and registers as a
+     * BarrierAgent on the kernel (construct it after every node exists).
+     */
     explicit InvariantMonitor(net::Fabric& fabric);
+
+    ~InvariantMonitor() override;
 
     InvariantMonitor(const InvariantMonitor&) = delete;
     InvariantMonitor& operator=(const InvariantMonitor&) = delete;
@@ -159,12 +182,16 @@ class InvariantMonitor
     void checkSwrel(const swrel::SoftReliableChannel& channel);
 
     /** Total violations detected (including any beyond the stored cap). */
-    std::uint64_t violationCount() const { return totalViolations_; }
+    std::uint64_t violationCount() const;
 
-    bool clean() const { return totalViolations_ == 0; }
+    bool clean() const { return violationCount() == 0; }
 
-    /** Stored violations (first storedCap per run). */
-    const std::vector<Violation>& violations() const { return violations_; }
+    /**
+     * Stored violations (first storedCap per shard per run). Island
+     * mode concatenates shards in island order — deterministic for a
+     * fixed seed at any worker count.
+     */
+    const std::vector<Violation>& violations() const;
 
     /** Multi-line human-readable report (stable across identical runs). */
     std::string report() const;
@@ -172,11 +199,18 @@ class InvariantMonitor
     /**
      * FNV-1a hash over every packet observed at egress (fields + drop
      * flag, in tap order). Two runs with the same seeds must agree.
+     * Island mode folds the per-island hash streams in island order, so
+     * the value is independent of the worker count (but is not the
+     * single-queue mode's hash — island mode is its own deterministic
+     * mode).
      */
-    std::uint64_t traceHash() const { return traceHash_; }
+    std::uint64_t traceHash() const;
 
     /** Packets observed at the egress tap. */
-    std::uint64_t packetsObserved() const { return packetsObserved_; }
+    std::uint64_t packetsObserved() const;
+
+    /** BarrierAgent: evaluate deferred cross-island checks for @p island. */
+    std::uint64_t flushInbound(std::size_t island) override;
 
   private:
     struct FlowKey
@@ -247,30 +281,81 @@ class InvariantMonitor
         /** @} */
     };
 
+    /**
+     * A deferred cross-island check, parked in a (src, dst) channel
+     * until the next window barrier. (at, wireId) orders the barrier
+     * merge — a strict total order, wire ids are unique.
+     */
+    struct CrossRecord
+    {
+        Time at;               ///< egress time on the source island
+        std::uint64_t wireId;  ///< merge tiebreak
+        std::uint8_t kind;     ///< 0 = A1 must-answer, 1 = W4 coherence
+        net::Opcode op;        ///< W4: opcode for the violation text
+        std::uint16_t dstLid;
+        std::uint32_t dstQpn;
+        std::uint32_t psn;
+    };
+
+    /**
+     * Per-island monitor state: the flows of this island's LIDs, the
+     * island's violation list and hash stream, and its outbound deferred
+     * checks. Single-queue mode has exactly one shard, making every
+     * path byte-identical to the pre-sharding monitor.
+     */
+    struct Shard
+    {
+        std::map<FlowKey, FlowState> flows;
+        std::vector<Violation> violations;
+        std::uint64_t violationCount = 0;
+        std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+        std::uint64_t packetsObserved = 0;
+        std::vector<std::vector<CrossRecord>> out;  ///< per dst island
+        std::vector<CrossRecord> inbox;             ///< barrier scratch
+    };
+
     void onEgress(const net::Packet& pkt, bool dropped);
-    void onRequestEgress(const net::Packet& pkt, bool dropped);
-    void onResponseEgress(const net::Packet& pkt, bool dropped);
+    void onRequestEgress(Shard& shard, const net::Packet& pkt,
+                         bool dropped);
+    void onResponseEgress(Shard& shard, const net::Packet& pkt,
+                          bool dropped);
     void onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
                     const rnic::SendWqe& wqe);
     void onRecvPost(std::uint16_t lid, const rnic::QpContext& qp,
                     const rnic::RecvWqe& wqe);
     void onCompletion(std::uint16_t lid, const verbs::WorkCompletion& wc);
 
+    /** The shard owning @p lid's flows (shard 0 when unsharded). */
+    Shard& shardOf(std::uint16_t lid);
+
+    /** The shard of the island currently executing (egress/delivery). */
+    Shard& egressShard();
+
     FlowState* flow(std::uint16_t lid, std::uint32_t qpn);
 
-    void emit(const std::string& invariant, std::uint16_t lid,
-              std::uint32_t qpn, const std::string& detail);
+    void emit(Shard& shard, const std::string& invariant, Time at,
+              std::uint16_t lid, std::uint32_t qpn,
+              const std::string& detail);
+
+    /** The A1 must-answer judgement (inline or at a barrier). */
+    void judgeAtomicMustAnswer(std::uint16_t dst_lid, std::uint32_t dst_qpn,
+                               std::uint32_t psn);
+
+    /** The W4 ack-coherence judgement (inline or at a barrier). */
+    void judgeAckCoherence(Shard& shard, Time at, net::Opcode op,
+                           std::uint16_t dst_lid, std::uint32_t dst_qpn,
+                           std::uint32_t psn);
 
     static constexpr std::size_t storedCap = 64;
 
     net::Fabric& fabric_;
-    std::map<FlowKey, FlowState> flows_;
+    /** One per island; exactly one in single-queue mode. A deque keeps
+     * shard addresses stable (not that they move — sized once). */
+    std::deque<Shard> shards_;
     std::set<const rnic::Rnic*> tappedRnics_;
     std::set<const verbs::CompletionQueue*> tappedCqs_;
-    std::vector<Violation> violations_;
-    std::uint64_t totalViolations_ = 0;
-    std::uint64_t traceHash_ = 14695981039346656037ull;  // FNV offset basis
-    std::uint64_t packetsObserved_ = 0;
+    /** Merged shard views, rebuilt on demand (accessors are cold). */
+    mutable std::vector<Violation> mergedViolations_;
 };
 
 } // namespace chaos

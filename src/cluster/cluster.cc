@@ -2,13 +2,26 @@
 
 #include <cstdio>
 
+#include "exp/seed_stream.hh"
+
 namespace ibsim {
 
 Cluster::Cluster(rnic::DeviceProfile profile, std::size_t node_count,
-                 std::uint64_t seed, net::LinkConfig link)
-    : rng_(seed), defaultProfile_(std::move(profile)),
+                 std::uint64_t seed, net::LinkConfig link,
+                 ClusterOptions options)
+    : rng_(seed), defaultProfile_(std::move(profile)), seed_(seed),
       fabric_(events_, rng_, link)
 {
+    if (options.sharded) {
+        // The conservative lookahead: the minimum virtual time any
+        // cross-island influence needs. A packet leaving island A is
+        // delivered on island B no earlier than egress + latency +
+        // per-packet overhead; serialization and chaos delays only push
+        // that later, so latency + overhead is a sound lower bound.
+        const Time lookahead = link.latency + link.perPacketOverhead;
+        kernel_ = std::make_unique<ShardedKernel>(lookahead, options.jobs);
+        fabric_.enableSharding(*kernel_);
+    }
     for (std::size_t i = 0; i < node_count; ++i)
         addNode();
 }
@@ -22,6 +35,21 @@ Cluster::addNode()
 Node&
 Cluster::addNode(const rnic::DeviceProfile& profile)
 {
+    if (kernel_) {
+        // One island per node: the node's RNIC and fabric port run on a
+        // private queue with a SeedStream-forked RNG, so the execution
+        // is independent of how islands map onto workers.
+        const std::size_t island = kernel_->addIsland();
+        const exp::SeedStream fork("cluster.island", seed_);
+        fabric_.addIslandLane(fork.trialSeed(0, island));
+        fabric_.assignLid(nextLid_, island);
+        islandRngs_.emplace_back(fork.trialSeed(1, island));
+        nodes_.push_back(std::make_unique<Node>(kernel_->island(island),
+                                                islandRngs_.back(),
+                                                fabric_, nextLid_++,
+                                                profile));
+        return *nodes_.back();
+    }
     nodes_.push_back(std::make_unique<Node>(events_, rng_, fabric_,
                                             nextLid_++, profile));
     return *nodes_.back();
@@ -35,7 +63,7 @@ Cluster::report()
     std::snprintf(line, sizeof(line),
                   "cluster @ %s: %zu nodes, %llu events executed\n",
                   now().str().c_str(), nodes_.size(),
-                  static_cast<unsigned long long>(events_.executed()));
+                  static_cast<unsigned long long>(eventsExecuted()));
     out += line;
     std::snprintf(line, sizeof(line),
                   "fabric: sent=%llu delivered=%llu dropped=%llu\n",

@@ -18,13 +18,42 @@
 #include <utility>
 #include <vector>
 
+#include <deque>
+
 #include "cluster/node.hh"
 #include "net/fabric.hh"
 #include "rnic/device_profile.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
+#include "simcore/sharded_kernel.hh"
 
 namespace ibsim {
+
+/**
+ * Execution-mode knobs for a Cluster.
+ *
+ * Default: the historical single-queue simulation (one EventQueue, one
+ * RNG) — byte-identical to what existed before island mode, pinned by
+ * the repo's traceHash goldens.
+ *
+ * sharded = true partitions the cluster into one island per node: each
+ * node's RNIC and fabric port live on a private EventQueue driven by a
+ * ShardedKernel with conservative lookahead = link latency + per-packet
+ * overhead (the minimum time any packet needs to cross islands). Every
+ * island gets its own SeedStream-forked RNG, wire-id space and packet
+ * pool, so a run is deterministic for a fixed seed at ANY worker count:
+ * jobs = 1 (inline, no threads) through jobs = N produce bit-identical
+ * trace hashes, per-QP stats and oracle verdicts. Island mode is its own
+ * deterministic mode — not a bit-replay of the single-queue schedule.
+ */
+struct ClusterOptions
+{
+    /** One island per node on a ShardedKernel. */
+    bool sharded = false;
+
+    /** Worker threads for the sharded kernel (clamped to node count). */
+    unsigned jobs = 1;
+};
 
 /**
  * A set of simulated machines on one fabric.
@@ -39,10 +68,12 @@ class Cluster
      * @param node_count number of nodes (LIDs 1..n)
      * @param seed RNG seed; every stochastic element derives from it
      * @param link fabric link parameters
+     * @param options execution mode (single-queue vs island sharding)
      */
     explicit Cluster(rnic::DeviceProfile profile,
                      std::size_t node_count = 2, std::uint64_t seed = 1,
-                     net::LinkConfig link = {});
+                     net::LinkConfig link = {},
+                     ClusterOptions options = {});
 
     Cluster(const Cluster&) = delete;
     Cluster& operator=(const Cluster&) = delete;
@@ -57,23 +88,53 @@ class Cluster
     EventQueue& events() { return events_; }
     Rng& rng() { return rng_; }
     net::Fabric& fabric() { return fabric_; }
-    Time now() const { return events_.now(); }
+
+    /** The parallel kernel, or nullptr in single-queue mode. */
+    ShardedKernel* shardedKernel() { return kernel_.get(); }
+
+    bool sharded() const { return kernel_ != nullptr; }
+
+    Time
+    now() const
+    {
+        return kernel_ ? kernel_->now() : events_.now();
+    }
 
     /** Advance virtual time by @p delta (the micro-benchmark's usleep). */
-    void advance(Time delta) { events_.advance(delta); }
+    void
+    advance(Time delta)
+    {
+        if (kernel_)
+            kernel_->advance(delta);
+        else
+            events_.advance(delta);
+    }
 
     /**
-     * Run until @p pred holds (polled after each event) or @p limit.
+     * Run until @p pred holds or @p limit. Single-queue mode polls after
+     * each event; island mode polls at every window barrier.
      * @return true if the predicate was satisfied.
      */
     bool
     runUntil(const std::function<bool()>& pred, Time limit = Time::max())
     {
-        return events_.runUntil(pred, limit);
+        return kernel_ ? kernel_->runUntil(pred, limit)
+                       : events_.runUntil(pred, limit);
     }
 
-    /** Run until the event queue drains (or @p limit). */
-    bool drain(Time limit = Time::max()) { return events_.run(limit); }
+    /** Run until the event queue(s) drain (or @p limit). */
+    bool
+    drain(Time limit = Time::max())
+    {
+        return kernel_ ? kernel_->run(limit) : events_.run(limit);
+    }
+
+    /** Events executed so far (summed over islands when sharded). */
+    std::uint64_t
+    eventsExecuted() const
+    {
+        return kernel_ ? kernel_->executed() : events_.executed();
+    }
 
     /**
      * A full diagnostic dump: fabric counters, per-node driver/board
@@ -94,6 +155,15 @@ class Cluster
     EventQueue events_;
     Rng rng_;
     rnic::DeviceProfile defaultProfile_;
+    std::uint64_t seed_;
+    /**
+     * Island mode. kernel_ is created before fabric_ sees any traffic
+     * and destroyed after the nodes (member order below): nodes schedule
+     * into island queues, so the queues must outlive them. islandRngs_
+     * is a deque — Node holds Rng& and deque growth never moves elements.
+     */
+    std::unique_ptr<ShardedKernel> kernel_;
+    std::deque<Rng> islandRngs_;
     net::Fabric fabric_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::uint16_t nextLid_ = 1;

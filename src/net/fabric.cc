@@ -1,5 +1,6 @@
 #include "net/fabric.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -11,6 +12,14 @@ namespace net {
 namespace {
 
 log::Component traceFabric("fabric");
+
+/**
+ * Island executing the current send()/receive chain. One value per
+ * worker thread: each island runs whole windows on one worker, and the
+ * value is re-stamped at every send, so nested sends (a receive handler
+ * answering) always see their own island.
+ */
+thread_local std::size_t tlsEgressIsland = 0;
 
 } // namespace
 
@@ -59,6 +68,9 @@ Fabric::addTap(CaptureTap tap)
 std::uint64_t
 Fabric::send(Packet pkt)
 {
+    if (sharded())
+        return sendSharded(std::move(pkt));
+
     pkt.wireId = nextWireId_++;
     pkt.sentAt = events_.now();
     ++totalSent_;
@@ -157,6 +169,263 @@ Fabric::deliver(Packet pkt, Time extra_delay)
     static_assert(EventQueue::Callback::storesInline<decltype(deliver_cb)>,
                   "delivery closure must not allocate");
     events_.schedule(deliverAt, std::move(deliver_cb));
+}
+
+// ---------------------------------------------------------------------
+// Island mode.
+// ---------------------------------------------------------------------
+
+void
+Fabric::enableSharding(ShardedKernel& kernel)
+{
+    assert(lanes_.empty() && ports_.empty() &&
+           "enable island mode before any lane or port exists");
+    kernel_ = &kernel;
+    kernel_->addBarrierAgent(this);
+}
+
+std::size_t
+Fabric::addIslandLane(std::uint64_t rng_seed)
+{
+    assert(sharded());
+    const std::size_t index = lanes_.size();
+    lanes_.emplace_back(&kernel_->island(index), rng_seed);
+    for (Lane& lane : lanes_)
+        lane.out.resize(lanes_.size());
+    return index;
+}
+
+void
+Fabric::assignLid(std::uint16_t lid, std::size_t island)
+{
+    assert(sharded() && island < lanes_.size());
+    if (lid >= islandOfLid_.size())
+        islandOfLid_.resize(static_cast<std::size_t>(lid) + 1, 0);
+    islandOfLid_[lid] = island;
+    port(lid);  // pre-grow the port table: no resizing once traffic runs
+}
+
+std::size_t
+Fabric::islandOf(std::uint16_t lid) const
+{
+    return lid < islandOfLid_.size() ? islandOfLid_[lid] : 0;
+}
+
+std::size_t
+Fabric::egressIsland() const
+{
+    return sharded() ? tlsEgressIsland : 0;
+}
+
+EventQueue&
+Fabric::islandEvents(std::size_t island)
+{
+    return sharded() ? *lanes_[island].events : events_;
+}
+
+void
+Fabric::setIslandFaultHook(std::size_t island, FaultHook* hook)
+{
+    assert(sharded() && island < lanes_.size());
+    lanes_[island].hook = hook;
+}
+
+std::uint64_t
+Fabric::sendSharded(Packet pkt)
+{
+    const std::size_t laneIndex = islandOf(pkt.srcLid);
+    Lane& lane = lanes_[laneIndex];
+    tlsEgressIsland = laneIndex;
+
+    // Per-lane wire-id spaces: the island in the high bits keeps ids
+    // globally unique (and the barrier merge a strict total order)
+    // without any cross-island counter.
+    pkt.wireId = (static_cast<std::uint64_t>(laneIndex + 1) << 44) |
+                 lane.nextWireId++;
+    pkt.sentAt = lane.events->now();
+    ++lane.sent;
+
+    if (loss_->shouldDrop(pkt, lane.rng)) {
+        ++lane.dropped;
+        for (const auto& tap : taps_)
+            tap(pkt, true);
+        IBSIM_TRACE(traceFabric, lane.events->now(),
+                    pkt.str() + "  ** DROPPED **");
+        return pkt.wireId;
+    }
+
+    if (lane.hook != nullptr) {
+        std::vector<FaultHook::Delivery> out;
+        lane.hook->processPacket(pkt, lane.events->now(), out);
+        if (out.empty()) {
+            ++lane.dropped;
+            for (const auto& tap : taps_)
+                tap(pkt, true);
+            IBSIM_TRACE(traceFabric, lane.events->now(),
+                        pkt.str() + "  ** DROPPED (chaos) **");
+            return pkt.wireId;
+        }
+        const std::uint64_t id = pkt.wireId;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (i == 0) {
+                out[i].pkt.wireId = id;
+            } else {
+                out[i].pkt.wireId =
+                    (static_cast<std::uint64_t>(laneIndex + 1) << 44) |
+                    lane.nextWireId++;
+                ++lane.injected;
+            }
+            out[i].pkt.sentAt = lane.events->now();
+            deliverSharded(laneIndex, std::move(out[i].pkt),
+                           out[i].extraDelay);
+        }
+        return id;
+    }
+
+    const std::uint64_t id = pkt.wireId;
+    deliverSharded(laneIndex, std::move(pkt), Time());
+    return id;
+}
+
+void
+Fabric::deliverSharded(std::size_t lane_index, Packet pkt,
+                       Time extra_delay)
+{
+    Lane& lane = lanes_[lane_index];
+    const bool unknownLid = pkt.dstLid >= ports_.size() ||
+                            ports_[pkt.dstLid].handler == nullptr;
+
+    for (const auto& tap : taps_)
+        tap(pkt, unknownLid);
+
+    IBSIM_TRACE(traceFabric, lane.events->now(),
+                pkt.str() + (unknownLid ? "  ** DROPPED **" : ""));
+
+    if (unknownLid) {
+        ++lane.dropped;
+        return;
+    }
+
+    const Time serialization = Time::sec(
+        static_cast<double>(pkt.wireSize()) / config_.bandwidthBytesPerSec);
+
+    // Egress serialization max-chain on the source port — owned by this
+    // island, unless the packet was forged with a foreign source LID
+    // (ForgedNakStage): then it "appears from the wire" at the executing
+    // island with no egress queueing, keeping every PortRecord
+    // single-island-owned.
+    Time depart;
+    if (islandOf(pkt.srcLid) == lane_index) {
+        PortRecord& src = ports_[pkt.srcLid];
+        const Time start = std::max(lane.events->now(), src.egressFreeAt);
+        src.egressFreeAt = start + serialization;
+        depart = src.egressFreeAt;
+    } else {
+        depart = lane.events->now() + serialization;
+    }
+    const Time arrive0 = depart + config_.latency + extra_delay;
+
+    const std::size_t dstIsland = islandOf(pkt.dstLid);
+    if (dstIsland == lane_index) {
+        finalizeIngress(dstIsland, std::move(pkt), arrive0, serialization);
+    } else {
+        lane.out[dstIsland].push_back(
+            {arrive0, serialization, pkt.wireId, std::move(pkt)});
+    }
+}
+
+void
+Fabric::finalizeIngress(std::size_t dst_island, Packet pkt, Time arrive0,
+                        Time serialization)
+{
+    Lane& dst = lanes_[dst_island];
+    PortRecord& rec = ports_[pkt.dstLid];
+    PortHandler* handler = rec.handler;
+    const Time arrive = std::max(arrive0, rec.ingressFreeAt);
+    rec.ingressFreeAt = arrive + serialization;
+    const Time deliverAt = arrive + config_.perPacketOverhead;
+
+    const std::uint32_t slot = dst.pool.acquire();
+    dst.pool.at(slot) = std::move(pkt);
+
+    const auto island = static_cast<std::uint32_t>(dst_island);
+    auto deliver_cb = [this, island, handler, slot] {
+        Lane& lane = lanes_[island];
+        ++lane.delivered;
+        tlsEgressIsland = island;
+        handler->receive(lane.pool.at(slot));
+        lane.pool.release(slot);
+    };
+    static_assert(EventQueue::Callback::storesInline<decltype(deliver_cb)>,
+                  "delivery closure must not allocate");
+    dst.events->schedule(deliverAt, std::move(deliver_cb));
+}
+
+std::uint64_t
+Fabric::flushInbound(std::size_t island)
+{
+    Lane& dst = lanes_[island];
+    std::vector<Parcel>& in = dst.inbox;
+    in.clear();
+    for (Lane& src : lanes_) {
+        if (&src == &dst)
+            continue;
+        std::vector<Parcel>& channel = src.out[island];
+        for (Parcel& parcel : channel)
+            in.push_back(std::move(parcel));
+        channel.clear();
+    }
+    if (in.empty())
+        return 0;
+
+    // Canonical merge order: (arrival, wire-id) is a strict total order
+    // (wire ids are unique), so the ingress max-chain below is identical
+    // whatever the worker count or source-lane completion order was.
+    std::sort(in.begin(), in.end(), [](const Parcel& a, const Parcel& b) {
+        return a.arrive0 != b.arrive0 ? a.arrive0 < b.arrive0
+                                      : a.wireId < b.wireId;
+    });
+    for (Parcel& parcel : in) {
+        finalizeIngress(island, std::move(parcel.pkt), parcel.arrive0,
+                        parcel.serialization);
+    }
+    return in.size();
+}
+
+std::uint64_t
+Fabric::totalSent() const
+{
+    std::uint64_t total = totalSent_;
+    for (const Lane& lane : lanes_)
+        total += lane.sent;
+    return total;
+}
+
+std::uint64_t
+Fabric::totalDelivered() const
+{
+    std::uint64_t total = totalDelivered_;
+    for (const Lane& lane : lanes_)
+        total += lane.delivered;
+    return total;
+}
+
+std::uint64_t
+Fabric::totalDropped() const
+{
+    std::uint64_t total = totalDropped_;
+    for (const Lane& lane : lanes_)
+        total += lane.dropped;
+    return total;
+}
+
+std::uint64_t
+Fabric::totalInjected() const
+{
+    std::uint64_t total = totalInjected_;
+    for (const Lane& lane : lanes_)
+        total += lane.injected;
+    return total;
 }
 
 } // namespace net

@@ -14,6 +14,7 @@
 #define IBSIM_NET_FABRIC_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "net/packet_pool.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
+#include "simcore/sharded_kernel.hh"
 
 namespace ibsim {
 namespace net {
@@ -60,8 +62,28 @@ using CaptureTap = std::function<void(const Packet&, bool dropped)>;
 
 /**
  * The fabric: LID-addressed delivery with latency, serialization and loss.
+ *
+ * Two execution modes share the routing tables:
+ *
+ *  - Single-queue (default): every delivery is scheduled on the one
+ *    EventQueue passed at construction — the historical path, untouched
+ *    by island mode and pinned by the repo's traceHash goldens.
+ *
+ *  - Island mode (enableSharding()): each LID belongs to an island of a
+ *    ShardedKernel and the fabric keeps one Lane per island — its own
+ *    wire-id space, RNG fork, PacketPool, fault hook and outbound
+ *    channels. Same-island packets take the inline path on the island's
+ *    queue; cross-island packets become Parcels carrying their earliest
+ *    arrival time and are injected at the next window barrier in
+ *    (arrival, wire-id) order, where the destination port's ingress
+ *    serialization max-chain is applied by the owning island. Both the
+ *    egress and ingress busy-times of a port are therefore only ever
+ *    touched by that port's island. Loss models and fault hooks shared
+ *    across lanes would race at jobs > 1 — use setIslandFaultHook()
+ *    (chaos::ChaosEngine::installSharded() does) and stateless loss
+ *    models only.
  */
-class Fabric
+class Fabric : public ShardedKernel::BarrierAgent
 {
   public:
     Fabric(EventQueue& events, Rng& rng, LinkConfig config = {});
@@ -113,16 +135,16 @@ class Fabric
     }
 
     /** Total packets handed to send(). */
-    std::uint64_t totalSent() const { return totalSent_; }
+    std::uint64_t totalSent() const;
 
     /** Total packets actually delivered. */
-    std::uint64_t totalDelivered() const { return totalDelivered_; }
+    std::uint64_t totalDelivered() const;
 
     /** Total packets dropped (loss model, fault hook or unknown LID). */
-    std::uint64_t totalDropped() const { return totalDropped_; }
+    std::uint64_t totalDropped() const;
 
     /** Extra packets materialized by the fault hook (dups, forged NAKs). */
-    std::uint64_t totalInjected() const { return totalInjected_; }
+    std::uint64_t totalInjected() const;
 
     const LinkConfig& config() const { return config_; }
 
@@ -130,6 +152,57 @@ class Fabric
 
     /** In-flight packet pool usage (capacity planning / tests). */
     const PacketPool& packetPool() const { return pool_; }
+
+    /** @{ Island mode (see the class comment). */
+
+    /**
+     * Switch into island mode over @p kernel. Call before any lane or
+     * LID exists; registers the fabric as a BarrierAgent.
+     */
+    void enableSharding(ShardedKernel& kernel);
+
+    bool sharded() const { return kernel_ != nullptr; }
+
+    ShardedKernel* shardedKernel() { return kernel_; }
+
+    /**
+     * Create the lane mirroring the kernel island of the same index
+     * (@p rng_seed forks the lane-private RNG). Returns the lane index,
+     * which must equal the kernel's island index.
+     */
+    std::size_t addIslandLane(std::uint64_t rng_seed);
+
+    /** Assign @p lid to @p island (setup time, before traffic). */
+    void assignLid(std::uint16_t lid, std::size_t island);
+
+    /** Island owning @p lid; 0 when unsharded or unassigned. */
+    std::size_t islandOf(std::uint16_t lid) const;
+
+    /** Islands in the fabric (1 when unsharded). */
+    std::size_t
+    islandCount() const
+    {
+        return sharded() ? lanes_.size() : 1;
+    }
+
+    /**
+     * The island executing the current send — valid inside capture taps
+     * and receive handlers; 0 when unsharded. Forged packets carry fake
+     * source LIDs, so taps must key per-island state on this, not on
+     * islandOf(pkt.srcLid).
+     */
+    std::size_t egressIsland() const;
+
+    /** Island @p island's queue (the single queue when unsharded). */
+    EventQueue& islandEvents(std::size_t island);
+
+    /** Per-island fault hook (island mode; nullptr uninstalls). */
+    void setIslandFaultHook(std::size_t island, FaultHook* hook);
+
+    /** BarrierAgent: merge-inject parcels bound for @p island. */
+    std::uint64_t flushInbound(std::size_t island) override;
+
+    /** @} */
 
   private:
     /**
@@ -160,6 +233,51 @@ class Fabric
     /** The record for @p lid, growing the table on first touch. */
     PortRecord& port(std::uint16_t lid);
 
+    /**
+     * @{ Island-mode datapath. A Parcel is a packet in a cross-island
+     * channel: arrive0 is its earliest ingress arrival (egress
+     * serialization, latency and chaos delay already applied by the
+     * source island); the destination island applies its ingress
+     * max-chain at the barrier, merging parcels from every source lane
+     * in (arrive0, wireId) order — a strict total order, because wire
+     * ids are unique. Channels are plain vectors: written by exactly one
+     * island during a window, drained by exactly one island at the
+     * barrier, never both at once (the kernel's phase separation).
+     */
+    struct Parcel
+    {
+        Time arrive0;
+        Time serialization;
+        std::uint64_t wireId;
+        Packet pkt;
+    };
+
+    struct Lane
+    {
+        Lane(EventQueue* ev, std::uint64_t rng_seed)
+            : events(ev), rng(rng_seed)
+        {}
+
+        EventQueue* events;
+        Rng rng;
+        PacketPool pool;
+        FaultHook* hook = nullptr;
+        std::uint64_t nextWireId = 1;
+        std::uint64_t sent = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t injected = 0;
+        std::vector<std::vector<Parcel>> out;  ///< per destination island
+        std::vector<Parcel> inbox;             ///< barrier merge scratch
+    };
+
+    std::uint64_t sendSharded(Packet pkt);
+    void deliverSharded(std::size_t lane_index, Packet pkt,
+                        Time extra_delay);
+    void finalizeIngress(std::size_t dst_island, Packet pkt, Time arrive0,
+                         Time serialization);
+    /** @} */
+
     EventQueue& events_;
     Rng& rng_;
     LinkConfig config_;
@@ -179,6 +297,12 @@ class Fabric
     std::uint64_t totalDelivered_ = 0;
     std::uint64_t totalDropped_ = 0;
     std::uint64_t totalInjected_ = 0;
+
+    /** @{ Island mode. lanes_ is a deque: stable Lane addresses. */
+    ShardedKernel* kernel_ = nullptr;
+    std::deque<Lane> lanes_;
+    std::vector<std::size_t> islandOfLid_;
+    /** @} */
 };
 
 } // namespace net

@@ -392,6 +392,13 @@ EventQueue::runUntil(const std::function<bool()>& pred, Time limit)
     }
 }
 
+Time
+EventQueue::nextEventTime()
+{
+    const std::uint32_t idx = nextRunnable();
+    return idx == nil ? Time::max() : pool_[idx].when;
+}
+
 void
 EventQueue::advance(Time delta)
 {

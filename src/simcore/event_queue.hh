@@ -138,6 +138,26 @@ class EventQueue
     void advance(Time delta);
 
     /**
+     * Time of the earliest pending event, or Time::max() when the queue
+     * is empty. Non-const: peeking may cascade wheel slots into the due
+     * heap (the work run() would do anyway). Used by the ShardedKernel
+     * driver to size conservative-lookahead windows.
+     */
+    Time nextEventTime();
+
+    /**
+     * Force the clock forward to @p t without executing anything. Only
+     * legal when no pending event is due at or before @p t; the sharded
+     * driver uses it to line island clocks up at window barriers.
+     */
+    void
+    syncClock(Time t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    /**
      * Kernel introspection for tests and capacity planning. All counts are
      * O(1) reads of maintained state.
      */

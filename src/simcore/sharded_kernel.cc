@@ -1,0 +1,239 @@
+#include "simcore/sharded_kernel.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibsim {
+
+ShardedKernel::ShardedKernel(Time lookahead, unsigned jobs)
+    : lookahead_(lookahead), jobs_(std::max(1u, jobs))
+{
+    assert(lookahead_ > Time() && "lookahead must be positive");
+}
+
+ShardedKernel::~ShardedKernel()
+{
+    if (!workers_.empty()) {
+        phase_ = Phase::Exit;
+        epoch_.fetch_add(1, std::memory_order_release);
+        for (auto& w : workers_)
+            w.join();
+    }
+}
+
+std::size_t
+ShardedKernel::addIsland()
+{
+    assert(!started_ && "islands are fixed once the kernel has run");
+    islands_.push_back(std::make_unique<EventQueue>());
+    parcelsPerIsland_.push_back(0);
+    return islands_.size() - 1;
+}
+
+void
+ShardedKernel::addBarrierAgent(BarrierAgent* agent)
+{
+    agents_.push_back(agent);
+}
+
+void
+ShardedKernel::removeBarrierAgent(BarrierAgent* agent)
+{
+    agents_.erase(std::remove(agents_.begin(), agents_.end(), agent),
+                  agents_.end());
+}
+
+void
+ShardedKernel::startWorkers()
+{
+    if (started_)
+        return;
+    started_ = true;
+    jobs_ = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, std::max<std::size_t>(1, islands_.size())));
+    for (unsigned w = 1; w < jobs_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ShardedKernel::workerShare(unsigned worker)
+{
+    const std::size_t n = islands_.size();
+    switch (phase_) {
+    case Phase::RunWindow:
+        for (std::size_t i = worker; i < n; i += jobs_)
+            islands_[i]->run(phaseLimit_);
+        break;
+    case Phase::Flush:
+        for (std::size_t i = worker; i < n; i += jobs_) {
+            std::uint64_t parcels = 0;
+            for (BarrierAgent* agent : agents_)
+                parcels += agent->flushInbound(i);
+            parcelsPerIsland_[i] += parcels;
+        }
+        break;
+    case Phase::Exit:
+        break;
+    }
+}
+
+void
+ShardedKernel::workerLoop(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spin briefly (windows are sub-microsecond apart when busy),
+        // then yield so oversubscribed machines still make progress.
+        int spins = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen) {
+            if (++spins > 256) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+        ++seen;
+        if (phase_ == Phase::Exit)
+            return;
+        workerShare(worker);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ShardedKernel::dispatch(Phase phase, Time limit)
+{
+    phase_ = phase;
+    phaseLimit_ = limit;
+    if (workers_.empty()) {
+        workerShare(0);
+        return;
+    }
+    outstanding_.store(jobs_ - 1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    workerShare(0);  // the coordinator is worker 0
+    int spins = 0;
+    while (outstanding_.load(std::memory_order_acquire) != 0) {
+        if (++spins > 256) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+Time
+ShardedKernel::earliestEvent()
+{
+    Time earliest = Time::max();
+    for (auto& island : islands_)
+        earliest = std::min(earliest, island->nextEventTime());
+    return earliest;
+}
+
+void
+ShardedKernel::syncClocks(Time t)
+{
+    for (auto& island : islands_)
+        island->syncClock(t);
+    if (t > now_)
+        now_ = t;
+}
+
+bool
+ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
+                       bool* pred_hit)
+{
+    startWorkers();
+    for (;;) {
+        // At the loop top all channels are empty (the previous barrier
+        // flushed them), so the islands' queues hold the complete
+        // pending set and this minimum is the true next event time.
+        if (pred != nullptr && (*pred)()) {
+            *pred_hit = true;
+            return false;
+        }
+        const Time earliest = earliestEvent();
+        if (earliest == Time::max())
+            return true;  // drained
+        if (earliest > limit) {
+            syncClocks(limit);
+            return false;
+        }
+
+        // Window [start, start + lookahead): every island executes its
+        // events with when <= runLimit (strictly before the window end,
+        // or up to the caller's limit — events at exactly `limit` run,
+        // matching EventQueue::run()). Anything one island schedules
+        // into another during this window lands at or after the window
+        // end, so it cannot be missed: the barrier flush below injects
+        // it before the next window begins.
+        const Time start = std::max(now_, earliest);
+        const Time end = start + lookahead_;
+        const Time runLimit = std::min(end - Time::ns(1), limit);
+        dispatch(Phase::RunWindow, runLimit);
+        dispatch(Phase::Flush, runLimit);
+        ++windows_;
+        ++barriers_;
+        syncClocks(runLimit);
+    }
+}
+
+bool
+ShardedKernel::run(Time limit)
+{
+    return runCore(limit, nullptr, nullptr);
+}
+
+bool
+ShardedKernel::runUntil(const std::function<bool()>& pred, Time limit)
+{
+    bool hit = false;
+    runCore(limit, &pred, &hit);
+    return hit;
+}
+
+void
+ShardedKernel::advance(Time delta)
+{
+    const Time target = now_ + delta;
+    runCore(target, nullptr, nullptr);
+    syncClocks(target);
+}
+
+std::uint64_t
+ShardedKernel::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto& island : islands_)
+        total += island->executed();
+    return total;
+}
+
+std::size_t
+ShardedKernel::pending() const
+{
+    std::size_t total = 0;
+    for (const auto& island : islands_)
+        total += island->pending();
+    return total;
+}
+
+ShardedKernel::KernelStats
+ShardedKernel::kernelStats() const
+{
+    KernelStats s;
+    s.barriers = barriers_;
+    s.windows = windows_;
+    s.executedPerIsland.reserve(islands_.size());
+    for (std::size_t i = 0; i < islands_.size(); ++i) {
+        const std::uint64_t executed = islands_[i]->executed();
+        s.executedPerIsland.push_back(executed);
+        s.channelParcels += parcelsPerIsland_[i];
+        s.maxIslandExecuted = std::max(s.maxIslandExecuted, executed);
+        s.minIslandExecuted = i == 0
+                                  ? executed
+                                  : std::min(s.minIslandExecuted, executed);
+    }
+    return s;
+}
+
+} // namespace ibsim

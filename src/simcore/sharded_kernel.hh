@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Conservative-lookahead parallel driver over per-island EventQueues.
+ *
+ * A ShardedKernel partitions a simulation into islands — in the cluster
+ * layer one island per node (the node's RNIC plus its fabric port) — each
+ * owning a private EventQueue, and executes them in lockstep windows
+ * [T, T + lookahead). The lookahead is the minimum latency any influence
+ * needs to cross between islands (for the fabric: link latency plus the
+ * per-packet overhead, since serialization and chaos delays only push
+ * arrivals later), so everything scheduled inside a window by another
+ * island lands strictly after the window's end barrier. Cross-island
+ * work travels through per-(src, dst) channels that BarrierAgents (the
+ * Fabric, the InvariantMonitor) drain at each barrier, merging batches
+ * in canonical (timestamp, wire-id) order — which makes the execution
+ * deterministic for a fixed seed regardless of the worker count.
+ *
+ * Threading model: islands are assigned to workers by the fixed mapping
+ * island % jobs. Every window runs two parallel phases — execute the
+ * window, then flush each island's inbound channels — separated by spin
+ * barriers. jobs = 1 runs the identical windowed algorithm inline with
+ * no threads at all, which is the "sequential" reference the differential
+ * tests compare against: a jobs = N run must be bit-identical to it
+ * (trace hashes, per-QP stats, oracle verdicts).
+ *
+ * What the kernel deliberately does not do: share any RNG, wire-id
+ * counter or packet pool between islands (the fabric forks all three per
+ * island), or interleave same-timestamp events across islands the way a
+ * single global queue would. Island mode is therefore its own
+ * deterministic mode, not a bit-replay of the single-queue mode — the
+ * single-queue path is untouched and keeps its own goldens.
+ */
+
+#ifndef IBSIM_SIMCORE_SHARDED_KERNEL_HH
+#define IBSIM_SIMCORE_SHARDED_KERNEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "simcore/event_queue.hh"
+#include "simcore/time.hh"
+
+namespace ibsim {
+
+/**
+ * Parallel conservative-lookahead driver over N island EventQueues.
+ */
+class ShardedKernel
+{
+  public:
+    /**
+     * A component holding cross-island channels. flushInbound(i) is
+     * called at every window barrier, once per island, from the worker
+     * that owns island i; it must inject everything queued for that
+     * island (merged in a canonical order) and return the parcel count.
+     * Phase separation guarantees no channel is written concurrently
+     * with its flush.
+     */
+    class BarrierAgent
+    {
+      public:
+        virtual ~BarrierAgent() = default;
+
+        /** Drain work queued for @p island since the last barrier. */
+        virtual std::uint64_t flushInbound(std::size_t island) = 0;
+    };
+
+    /**
+     * @param lookahead minimum cross-island influence latency (> 0)
+     * @param jobs worker count; clamped to the island count at startup,
+     *        1 = run the same windowed algorithm inline, no threads
+     */
+    ShardedKernel(Time lookahead, unsigned jobs);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel&) = delete;
+    ShardedKernel& operator=(const ShardedKernel&) = delete;
+
+    /** Add an island (before the first run). Returns its index. */
+    std::size_t addIsland();
+
+    EventQueue& island(std::size_t i) { return *islands_[i]; }
+    std::size_t islandCount() const { return islands_.size(); }
+
+    /** Effective worker count (clamped once running). */
+    unsigned jobs() const { return jobs_; }
+
+    Time lookahead() const { return lookahead_; }
+
+    /** Barrier-synchronized virtual time. */
+    Time now() const { return now_; }
+
+    /** Register / remove a channel holder (fabric, monitor, ...). */
+    void addBarrierAgent(BarrierAgent* agent);
+    void removeBarrierAgent(BarrierAgent* agent);
+
+    /**
+     * Run until every island drains (and all channels are empty) or
+     * @p limit is reached. Mirrors EventQueue::run(): events at exactly
+     * @p limit execute; on a limit cut every island clock is left at
+     * @p limit. @return true if the simulation drained.
+     */
+    bool run(Time limit = Time::max());
+
+    /**
+     * Run until @p pred holds, checking at every window barrier (the
+     * sharded counterpart of EventQueue::runUntil()'s per-event check;
+     * windows are one lookahead — sub-microsecond — wide, so the
+     * predicate granularity is the lookahead, not the run).
+     * @return true if the predicate was satisfied.
+     */
+    bool runUntil(const std::function<bool()>& pred,
+                  Time limit = Time::max());
+
+    /** Advance all islands to now() + delta; clocks end exactly there. */
+    void advance(Time delta);
+
+    /** Total events executed across all islands. */
+    std::uint64_t executed() const;
+
+    /** Pending events across all islands. */
+    std::size_t pending() const;
+
+    /**
+     * Sharding observability: barrier/window counts, channel traffic
+     * and the per-island event-count spread (imbalance is what caps the
+     * parallel speedup).
+     */
+    struct KernelStats
+    {
+        std::uint64_t barriers = 0;        ///< window barriers crossed
+        std::uint64_t windows = 0;         ///< windows executed
+        std::uint64_t channelParcels = 0;  ///< cross-island parcels flushed
+        std::vector<std::uint64_t> executedPerIsland;
+        std::uint64_t maxIslandExecuted = 0;
+        std::uint64_t minIslandExecuted = 0;
+    };
+
+    KernelStats kernelStats() const;
+
+  private:
+    enum class Phase : std::uint8_t { RunWindow, Flush, Exit };
+
+    /**
+     * The window loop shared by run()/runUntil()/advance(). Channels
+     * are empty at every loop top (flushed by the previous barrier).
+     * @return true when drained, false when the limit cut the run.
+     */
+    bool runCore(Time limit, const std::function<bool()>* pred,
+                 bool* pred_hit);
+
+    /** Execute one parallel phase across all islands and wait for it. */
+    void dispatch(Phase phase, Time limit);
+
+    /** The slice of islands owned by @p worker, for the current phase. */
+    void workerShare(unsigned worker);
+
+    void workerLoop(unsigned worker);
+
+    /** Spawn the worker pool on first use (islands are final by then). */
+    void startWorkers();
+
+    /** Earliest pending event over all islands (channels are empty). */
+    Time earliestEvent();
+
+    /** Line every island clock up at @p t (t >= every island's now). */
+    void syncClocks(Time t);
+
+    Time lookahead_;
+    unsigned jobs_;
+    std::vector<std::unique_ptr<EventQueue>> islands_;
+    std::vector<BarrierAgent*> agents_;
+    Time now_;
+    bool started_ = false;
+
+    /** @{ Stats. parcelsPerIsland_[i] is only written by i's owner. */
+    std::uint64_t barriers_ = 0;
+    std::uint64_t windows_ = 0;
+    std::vector<std::uint64_t> parcelsPerIsland_;
+    /** @} */
+
+    /**
+     * @{ Worker pool protocol. The coordinator writes phase_/phaseLimit_,
+     * publishes them with a release increment of epoch_, works its own
+     * share (it is worker 0), then waits for outstanding_ to hit zero.
+     * Workers spin on epoch_, run their share, and decrement.
+     */
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> outstanding_{0};
+    Phase phase_ = Phase::RunWindow;
+    Time phaseLimit_;
+    /** @} */
+};
+
+} // namespace ibsim
+
+#endif // IBSIM_SIMCORE_SHARDED_KERNEL_HH

@@ -961,12 +961,22 @@ struct MeshSoakResult
  * The 4-node mesh soak: RC writes+atomics on 1<->2, RC reads+sends on
  * 3<->4, UD datagrams 1->3, UC writes 2->4, every link flapping on its
  * own schedule, plus packet-level chaos on top.
+ *
+ * jobs == 0 runs the historical single-queue simulation (the golden
+ * trace below pins that path byte-for-byte). jobs > 0 runs island mode
+ * on a ShardedKernel with that many workers; island mode is its own
+ * deterministic schedule, so its hash differs from single-queue but
+ * must be identical across worker counts.
  */
 MeshSoakResult
-runMeshSoak(std::uint64_t seed)
+runMeshSoak(std::uint64_t seed, unsigned jobs = 0)
 {
     MeshSoakResult out;
-    Cluster cluster(rnic::DeviceProfile::connectX4(), 4, seed);
+    ClusterOptions options;
+    options.sharded = jobs > 0;
+    options.jobs = jobs > 0 ? jobs : 1;
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 4, seed,
+                    net::LinkConfig{}, options);
 
     chaos::ChaosConfig cfg;
     cfg.seed = seed;
@@ -980,7 +990,10 @@ runMeshSoak(std::uint64_t seed)
     topo.setDefaultPlan({Time::us(500), Time::us(120)});
     topo.setLinkPlan(1, 3, {Time::us(300), Time::us(180)});
     engine.attachTopology(topo);
-    engine.install(cluster.fabric());
+    if (cluster.sharded())
+        engine.installSharded(cluster.fabric());
+    else
+        engine.install(cluster.fabric());
 
     chaos::InvariantMonitor monitor(cluster.fabric());
 
@@ -1072,7 +1085,8 @@ runMeshSoak(std::uint64_t seed)
 
     out.hash = monitor.traceHash();
     out.violations = monitor.violationCount();
-    out.flaps = topo.totalFlaps();
+    out.flaps = cluster.sharded() ? engine.shardedFlaps()
+                                  : topo.totalFlaps();
     out.counter = read64(n1, counter);
     out.report = monitor.report();
     return out;
@@ -1095,4 +1109,33 @@ TEST(ChaosTopology, FourNodeMeshSoakIsCleanAndGolden)
     EXPECT_EQ(r.hash, again.hash);
     EXPECT_EQ(r.hash, 0x8133ce175f4220c2ull);
     EXPECT_NE(runMeshSoak(2027).hash, r.hash);
+}
+
+// ---------------------------------------------------------------------
+// Island-mode differential: the same mesh soak on the sharded kernel
+// must be bit-identical across worker counts — jobs = 1 (inline, zero
+// threads) is the reference schedule and every thread count replays it.
+// ---------------------------------------------------------------------
+
+TEST(ChaosTopology, MeshSoakShardedIsJobInvariant)
+{
+    const MeshSoakResult seq = runMeshSoak(2026, 1);
+    EXPECT_TRUE(seq.drained);
+    EXPECT_EQ(seq.violations, 0u) << seq.report;
+    EXPECT_GT(seq.flaps, 0u);
+    // Atomic semantics are schedule-independent: exactly-once FetchAdds.
+    EXPECT_EQ(seq.counter, 500u + 8 * 2);
+
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        const MeshSoakResult par = runMeshSoak(2026, jobs);
+        EXPECT_TRUE(par.drained) << "jobs=" << jobs;
+        EXPECT_EQ(par.hash, seq.hash) << "jobs=" << jobs;
+        EXPECT_EQ(par.violations, seq.violations)
+            << "jobs=" << jobs << "\n" << par.report;
+        EXPECT_EQ(par.flaps, seq.flaps) << "jobs=" << jobs;
+        EXPECT_EQ(par.counter, seq.counter) << "jobs=" << jobs;
+    }
+
+    // A different seed is a genuinely different campaign.
+    EXPECT_NE(runMeshSoak(2027, 2).hash, seq.hash);
 }

@@ -16,9 +16,20 @@ the threshold defaults to a generous 25% and only the named nanosecond
 metrics are compared — counts, violation totals and derived rates are
 trend data, not gates.
 
+Fresh cells with no baseline row fail soft-but-loud: each is printed as a
+WARN line and the check exits nonzero so CI surfaces them, without
+claiming a perf regression. Pass --allow-new when the new cells are
+intentional (they become baselines once the trend file is refreshed).
+
+Rows swept over a `jobs` param additionally get a derived
+`speedup_vs_seq` report: each jobs != 1 cell's wall-clock mean compared
+against the jobs = 1 cell sharing the bench and every other param —
+the sequential-reference speedup of the sharded kernel. Derived, never
+gated.
+
 Usage:
     tools/check_bench_regression.py --baseline BENCH_simcore.json \
-        --fresh fresh.jsonl [--threshold 1.25]
+        --fresh fresh.jsonl [--threshold 1.25] [--allow-new]
 """
 
 import argparse
@@ -76,6 +87,43 @@ def format_key(key):
     return f"{bench}[{rendered}]" if rendered else bench
 
 
+def is_sequential(value):
+    """True when a `jobs` param value names the jobs=1 reference cell."""
+    try:
+        return float(value) == 1.0
+    except (TypeError, ValueError):
+        return False
+
+
+def speedup_rows(fresh):
+    """Derive speedup_vs_seq: each jobs != 1 cell against the jobs = 1
+    cell sharing the bench and every other param. Returns
+    (cell name, metric, jobs, speedup) tuples."""
+    by_rest = {}  # (bench, params sans jobs) -> {jobs value: row}
+    for key, row in fresh.items():
+        bench, params = key
+        jobs = dict(params).get("jobs")
+        if jobs is None:
+            continue
+        rest = tuple(kv for kv in params if kv[0] != "jobs")
+        by_rest.setdefault((bench, rest), {})[jobs] = row
+    out = []
+    for (bench, rest), cells in sorted(by_rest.items()):
+        seq = next((row for jobs, row in cells.items()
+                    if is_sequential(jobs)), None)
+        if seq is None:
+            continue
+        seq_means = wall_clock_means(seq)
+        for jobs, row in sorted(cells.items(), key=lambda kv: kv[0]):
+            if is_sequential(jobs):
+                continue
+            for metric, mean in wall_clock_means(row).items():
+                if mean > 0 and seq_means.get(metric, 0) > 0:
+                    out.append((format_key((bench, rest)), metric, jobs,
+                                seq_means[metric] / mean))
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -85,17 +133,24 @@ def main():
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="fail ratio: fresh/baseline mean above this "
                              "is a regression (default 1.25 = +25%%)")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="fresh cells missing from the baseline are "
+                             "expected; list them but do not fail")
     args = parser.parse_args()
 
     baseline = latest_by_key(load_rows(args.baseline))
     fresh = latest_by_key(load_rows(args.fresh))
 
     compared = 0
+    unmatched = []  # fresh cells with no baseline row
     per_cell = []  # (bench, cell name, metric, base, fresh, ratio)
     for key, fresh_row in sorted(fresh.items()):
         base_row = baseline.get(key)
         if base_row is None:
-            continue  # new cell: becomes a baseline, nothing to gate
+            # New cell: nothing to gate, but stay loud — a silently
+            # skipped cell reads as "checked and fine" when it wasn't.
+            unmatched.append(key)
+            continue
         base_means = wall_clock_means(base_row)
         for metric, fresh_mean in wall_clock_means(fresh_row).items():
             base_mean = base_means.get(metric)
@@ -134,10 +189,31 @@ def main():
         for _, name, metric, base_mean, fresh_mean, ratio in outliers:
             print(f"  {name:<52} {metric:<14} {base_mean:>10.1f} -> "
                   f"{fresh_mean:>10.1f} {ratio:>6.2f}x")
+
+    speedups = speedup_rows(fresh)
+    if speedups:
+        print()
+        print("speedup_vs_seq (derived from jobs=1 reference cells, "
+              "not gated):")
+        for name, metric, jobs, speedup in speedups:
+            print(f"  {name:<52} {metric:<14} jobs={jobs:<4} "
+                  f"{speedup:>6.2f}x")
+
+    if unmatched:
+        print()
+        for key in unmatched:
+            print(f"WARN: no baseline row for {format_key(key)}")
     print()
+
+    status = 0
+    if unmatched and not args.allow_new:
+        print(f"FAIL: {len(unmatched)} fresh cell(s) have no baseline "
+              f"row; append baselines to the committed file or pass "
+              f"--allow-new if intentional")
+        status = 1
     if not regressions:
         print("OK: no bench regressed beyond the threshold")
-        return 0
+        return status
 
     for bench, ratio, cells in regressions:
         print(f"FAIL: {bench} regressed x{ratio:.2f} (geometric mean "
