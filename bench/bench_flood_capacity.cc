@@ -50,6 +50,10 @@ struct CapacityResult
     std::uint64_t channelParcels = 0;
     std::uint64_t islandEventsMax = 0;
     std::uint64_t islandEventsMin = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t maxClockLagNs = 0;
+    double busyMean = 0;
+    double busyMin = 0;
 };
 
 /**
@@ -62,12 +66,17 @@ struct CapacityResult
  * `jobs` = 0 runs the historical single-queue kernel; >= 1 runs island
  * mode (one island per node) with that many workers — jobs = 1 being the
  * windowed algorithm inline, the "sequential" reference every jobs > 1
- * run must match bit-for-bit.
+ * run must match bit-for-bit. `client_planes` > 1 splits every client
+ * machine into that many planes (Cluster::addNodePlanes) and spreads its
+ * QP groups round-robin across them — the per-QP-group island split that
+ * stops one hot RNIC from serializing a whole window.
  */
 CapacityResult
 runCapacityTrial(std::size_t qps, std::size_t pairs,
                  std::size_t ops_per_wave, bool audit, std::uint64_t seed,
-                 unsigned jobs = 0)
+                 unsigned jobs = 0,
+                 ScheduleMode mode = ScheduleMode::Stealing,
+                 unsigned client_planes = 1)
 {
     const std::size_t qpsPerPair = qps / pairs;
     constexpr std::uint64_t bytesPerQp = 4096;  // one ODP page per QP
@@ -75,35 +84,53 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
     ClusterOptions options;
     options.sharded = jobs > 0;
     options.jobs = jobs > 0 ? jobs : 1;
-    Cluster cluster(rnic::DeviceProfile::connectX4(), 2 * pairs, seed,
+    options.scheduleMode = mode;
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 0, seed,
                     net::LinkConfig{}, options);
+    struct PlaneRegion
+    {
+        std::uint64_t dst = 0;
+        std::uint32_t lkey = 0;
+    };
     struct Pair
     {
-        Node* client;
-        verbs::CompletionQueue* cq;
-        std::uint64_t src, dst;
-        std::uint32_t lkey, rkey;
+        std::vector<Node*> planes;
+        std::vector<PlaneRegion> dsts;
+        std::uint64_t src = 0;
+        std::uint32_t rkey = 0;
     };
     std::vector<Pair> setup(pairs);
     std::vector<verbs::QueuePair> flows;
+    std::vector<verbs::CompletionQueue*> cqs;
     flows.reserve(qps);
 
+    const auto profile = rnic::DeviceProfile::connectX4();
     for (std::size_t p = 0; p < pairs; ++p) {
-        Node& client = cluster.node(2 * p);
-        Node& server = cluster.node(2 * p + 1);
-        auto& ccq = client.createCq();
+        Pair& pr = setup[p];
+        // With client_planes == 1 this is the historical layout: nodes
+        // alternate client, server, client, server (LIDs 1..2*pairs).
+        pr.planes = cluster.addNodePlanes(profile, client_planes);
+        Node& server = cluster.addNode(profile);
         auto& scq = server.createCq();
         const std::uint64_t bytes = qpsPerPair * bytesPerQp;
-        const std::uint64_t src = server.alloc(bytes);
-        const std::uint64_t dst = client.alloc(bytes);
-        auto& smr = server.registerMemory(src, bytes,
+        pr.src = server.alloc(bytes);
+        auto& smr = server.registerMemory(pr.src, bytes,
                                           verbs::AccessFlags::pinned());
-        auto& cmr = client.registerMemory(dst, bytes,
-                                          verbs::AccessFlags::odp());
-        setup[p] = {&client, &ccq, src, dst, cmr.lkey(), smr.rkey()};
+        pr.rkey = smr.rkey();
+        std::vector<verbs::CompletionQueue*> pcqs;
+        for (Node* plane : pr.planes) {
+            auto& ccq = plane->createCq();
+            pcqs.push_back(&ccq);
+            cqs.push_back(&ccq);
+            const std::uint64_t dst = plane->alloc(bytes);
+            auto& cmr = plane->registerMemory(
+                dst, bytes, verbs::AccessFlags::odp());
+            pr.dsts.push_back({dst, cmr.lkey()});
+        }
         for (std::size_t q = 0; q < qpsPerPair; ++q) {
+            const std::size_t plane = q % pr.planes.size();
             auto [cqp, sqp] = cluster.connectRc(
-                client, ccq, server, scq,
+                *pr.planes[plane], *pcqs[plane], server, scq,
                 pitfall::MicroBenchConfig::ucxDefaultConfig());
             flows.push_back(cqp);
         }
@@ -113,18 +140,16 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
         for (std::size_t i = 0; i < flows.size(); ++i) {
             const Pair& pr = setup[i / qpsPerPair];
             const std::size_t q = i % qpsPerPair;
+            const PlaneRegion& dst = pr.dsts[q % pr.dsts.size()];
             for (std::size_t op = 0; op < ops_per_wave; ++op) {
                 const std::uint64_t off = q * bytesPerQp +
                                           (wave * ops_per_wave + op) * 128;
-                flows[i].postRead(pr.dst + off, pr.lkey, pr.src + off,
+                flows[i].postRead(dst.dst + off, dst.lkey, pr.src + off,
                                   pr.rkey, 100,
                                   wave * ops_per_wave + op + 1);
             }
         }
     };
-    std::vector<verbs::CompletionQueue*> cqs;
-    for (const Pair& pr : setup)
-        cqs.push_back(pr.cq);
     const auto completions = [&] {
         std::uint64_t done = 0;
         for (auto* cq : cqs)
@@ -168,8 +193,41 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
         result.channelParcels = ks.channelParcels;
         result.islandEventsMax = ks.maxIslandExecuted;
         result.islandEventsMin = ks.minIslandExecuted;
+        result.steals = ks.steals;
+        result.maxClockLagNs = ks.maxClockLagNs;
+        if (!ks.workerBusyFraction.empty()) {
+            double sum = 0, mn = ks.workerBusyFraction.front();
+            for (const double f : ks.workerBusyFraction) {
+                sum += f;
+                mn = f < mn ? f : mn;
+            }
+            result.busyMean =
+                sum / static_cast<double>(ks.workerBusyFraction.size());
+            result.busyMin = mn;
+        }
     }
     return result;
+}
+
+/**
+ * Axis override from the environment: a comma-separated list of numbers
+ * (e.g. IBSIM_FLOOD_JOBS=1,4) replaces @p fallback. Lets CI's perf-smoke
+ * and users sweep a subset without recompiling.
+ */
+std::vector<double>
+axisFromEnv(const char* name, std::vector<double> fallback)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    std::vector<double> out;
+    char* cursor = nullptr;
+    for (double v = std::strtod(raw, &cursor); cursor != raw;
+         v = std::strtod(raw, &cursor)) {
+        out.push_back(v);
+        raw = *cursor == ',' ? cursor + 1 : cursor;
+    }
+    return out.empty() ? fallback : out;
 }
 
 } // namespace
@@ -241,15 +299,23 @@ registerFloodCapacity(exp::Registry& registry)
                  "InvariantMonitor::watchAll() attached mid-run (late "
                  "attach) and must stay at\nviolations = 0.");
 
-             // Island-mode scaling: the same flood on a 64-node mesh
+             // Island-mode scaling: the same flood on a 64-machine mesh
              // under the sharded kernel, workers swept 1..8. jobs = 1 is
              // the inline windowed reference; check_bench_regression.py
-             // derives speedup_vs_seq from these rows.
+             // derives speedup_vs_seq from these rows and fails loudly
+             // when it dips below 1.0. planes = 4 splits every client
+             // machine into four per-QP-group islands (same 64 machines,
+             // more schedulable islands).
              constexpr std::size_t parallelPairs = 32;
              exp::Sweep parallel;
              parallel.axis("nodes", {2.0 * parallelPairs}, 0)
                  .axis("qps", {16384.0}, 0)
-                 .axis("jobs", {1.0, 2.0, 4.0, 8.0}, 0);
+                 .axis("planes",
+                       axisFromEnv("IBSIM_FLOOD_PLANES", {1.0, 4.0}), 0)
+                 .axis("jobs",
+                       axisFromEnv("IBSIM_FLOOD_JOBS",
+                                   {1.0, 2.0, 4.0, 8.0}),
+                       0);
 
              auto presult = local.runner("flood_capacity_parallel")
                                 .run(parallel, trials,
@@ -259,9 +325,11 @@ registerFloodCapacity(exp::Registry& registry)
                          static_cast<std::size_t>(cell.num("qps"));
                      const auto jobs =
                          static_cast<unsigned>(cell.num("jobs"));
+                     const auto planes =
+                         static_cast<unsigned>(cell.num("planes"));
                      const CapacityResult r = runCapacityTrial(
                          qps, parallelPairs, opsPerWave, false, seed,
-                         jobs);
+                         jobs, ScheduleMode::Stealing, planes);
                      const double perPkt =
                          r.packets > 0
                              ? r.wallNs / static_cast<double>(r.packets)
@@ -286,31 +354,42 @@ registerFloodCapacity(exp::Registry& registry)
                               static_cast<double>(r.islandEventsMax))
                          .set("island_events_min",
                               static_cast<double>(r.islandEventsMin))
-                         .set("imbalance", imbalance);
+                         .set("imbalance", imbalance)
+                         .set("steals", static_cast<double>(r.steals))
+                         .set("max_clock_lag_ns",
+                              static_cast<double>(r.maxClockLagNs))
+                         .set("busy_mean", r.busyMean)
+                         .set("busy_min", r.busyMin);
                  });
 
              auto psink = local.sink("flood_capacity_parallel");
              psink.table(
-                 "Island-mode scaling on a 64-node mesh (sharded "
+                 "Island-mode scaling on a 64-machine mesh (sharded "
                  "kernel; wall clock)",
                  presult,
                  {exp::col("ns_per_packet", exp::Stat::Mean, 1,
                            "ns/pkt"),
                   exp::col("packets_k", exp::Stat::Mean, 1, "packets_k"),
-                  exp::col("barriers", exp::Stat::Mean, 0, "barriers"),
+                  exp::col("barriers", exp::Stat::Mean, 0, "rounds"),
                   exp::col("channel_pkts", exp::Stat::Mean, 0,
                            "chan_pkts"),
                   exp::col("imbalance", exp::Stat::Mean, 2, "imbalance"),
+                  exp::col("steals", exp::Stat::Mean, 0, "steals"),
+                  exp::col("max_clock_lag_ns", exp::Stat::Mean, 0,
+                           "lag_ns"),
+                  exp::col("busy_mean", exp::Stat::Mean, 2, "busy_mean"),
+                  exp::col("busy_min", exp::Stat::Mean, 2, "busy_min"),
                   exp::col("completed", exp::Stat::Mean, 2,
                            "completed")});
              psink.note(
-                 "One island per node, conservative lookahead = link "
-                 "latency + per-packet overhead.\njobs=1 runs the "
-                 "windowed algorithm inline (the sequential reference); "
-                 "every jobs>1 run\nis bit-identical to it. Speedup "
-                 "needs real cores: single-CPU machines will show\n"
-                 "jobs>1 slower, and the regression gate reports "
-                 "speedup_vs_seq from these rows.");
+                 "One island per node plus per-QP-group client planes "
+                 "(planes=4 splits each client\nmachine into 4 islands); "
+                 "pairwise channel clocks, work-stealing scheduler.\n"
+                 "jobs=1 runs the windowed algorithm inline (the "
+                 "sequential reference); every jobs>1\nrun is "
+                 "bit-identical to it. steals / lag_ns / busy_* are "
+                 "wall-clock scheduler\nobservability, not part of the "
+                 "deterministic surface.");
          }});
 }
 

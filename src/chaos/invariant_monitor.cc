@@ -271,9 +271,10 @@ InvariantMonitor::onRequestEgress(Shard& shard, const net::Packet& pkt,
         const std::size_t dstIsland =
             fabric_.sharded() ? fabric_.islandOf(pkt.dstLid) : 0;
         if (fabric_.sharded() && dstIsland != fabric_.egressIsland()) {
-            shard.out[dstIsland].push_back({now, pkt.wireId, 0, pkt.op,
-                                            pkt.dstLid, pkt.dstQpn,
-                                            pkt.psn});
+            shard.out[dstIsland].push(
+                (now + fabric_.shardedKernel()->lookahead()).toNs(),
+                {now, pkt.wireId, 0, pkt.op, pkt.dstLid, pkt.dstQpn,
+                 pkt.psn});
         } else {
             judgeAtomicMustAnswer(pkt.dstLid, pkt.dstQpn, pkt.psn);
         }
@@ -389,7 +390,8 @@ InvariantMonitor::onResponseEgress(Shard& shard, const net::Packet& pkt,
     const std::size_t dstIsland =
         fabric_.sharded() ? fabric_.islandOf(pkt.dstLid) : 0;
     if (fabric_.sharded() && dstIsland != fabric_.egressIsland()) {
-        shard.out[dstIsland].push_back(
+        shard.out[dstIsland].push(
+            (now + fabric_.shardedKernel()->lookahead()).toNs(),
             {now, pkt.wireId, 1, pkt.op, pkt.dstLid, pkt.dstQpn, pkt.psn});
         return;
     }
@@ -549,17 +551,33 @@ InvariantMonitor::finalCheck()
 }
 
 std::uint64_t
-InvariantMonitor::flushInbound(std::size_t island)
+InvariantMonitor::flushInbound(std::size_t island, Time now, Time horizon)
 {
     Shard& dst = shards_[island];
     std::vector<CrossRecord>& in = dst.inbox;
     in.clear();
+
+    // Window flushes (now < horizon) drain by the channel key, at +
+    // lookahead: every record covered by the horizon is visible under
+    // the channel-clock protocol, and the shadowed packet cannot have
+    // been delivered yet, so the judgement batch is a pure function of
+    // virtual state. Quiesce flushes (now == horizon) run sequentially
+    // after the workers joined — everything is visible, so judge all
+    // records with at <= now instead of stranding the sub-lookahead
+    // tail of a limit-cut run.
+    const Time lookahead = fabric_.shardedKernel()->lookahead();
+    const std::int64_t threshold = now == horizon
+                                       ? (now + lookahead).toNs()
+                                       : horizon.toNs();
     for (Shard& src : shards_) {
         if (&src == &dst)
             continue;
-        std::vector<CrossRecord>& channel = src.out[island];
-        in.insert(in.end(), channel.begin(), channel.end());
-        channel.clear();
+        src.out[island].drainUpTo(
+            threshold,
+            [lookahead](const CrossRecord& r) {
+                return (r.at + lookahead).toNs();
+            },
+            in);
     }
     if (in.empty())
         return 0;

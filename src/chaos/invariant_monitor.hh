@@ -82,14 +82,19 @@
  * by the worker executing that island — no locks on the hot path. The
  * two checks that read a *remote* flow's live QP state (A1 must-answer
  * reads the responder's expectedPsn, W4 ack-coherence reads the
- * requester's nextPsn) are deferred through cross-island channels and
- * evaluated at the next window barrier in (time, wire-id) order, against
- * state the owning island finished writing (the kernel's phase barrier
- * provides the happens-before). Deferral is sound: expectedPsn/nextPsn
- * only advance and the barrier lies between egress and delivery, so the
- * barrier-time judgement matches the arrival-time meaning of both
- * invariants. With one shard (single-queue mode) every path below
- * collapses to the historical code, keeping the traceHash goldens.
+ * requester's nextPsn) are deferred through cross-island CrossChannels
+ * keyed by at + lookahead — the packet they shadow cannot take effect at
+ * the destination before then — and evaluated, in (time, wire-id) merge
+ * order, by the flush preceding the destination window that covers that
+ * key (quiesce flushes judge every lingering record). The channel-clock
+ * protocol guarantees all records at or below a window's horizon are
+ * visible, so the judgement window is a pure function of virtual state:
+ * deterministic at any worker count and ScheduleMode. Deferral is sound:
+ * expectedPsn/nextPsn only advance and the judging flush precedes the
+ * shadowed packet's delivery, so the judgement matches the arrival-time
+ * meaning of both invariants. With one shard (single-queue mode) every
+ * path below collapses to the historical code, keeping the traceHash
+ * goldens.
  */
 
 #ifndef IBSIM_CHAOS_INVARIANT_MONITOR_HH
@@ -106,6 +111,7 @@
 #include "net/fabric.hh"
 #include "rnic/qp_context.hh"
 #include "rnic/rnic.hh"
+#include "simcore/cross_channel.hh"
 #include "simcore/time.hh"
 
 namespace ibsim {
@@ -209,8 +215,11 @@ class InvariantMonitor : public ShardedKernel::BarrierAgent
     /** Packets observed at the egress tap. */
     std::uint64_t packetsObserved() const;
 
-    /** BarrierAgent: evaluate deferred cross-island checks for @p island. */
-    std::uint64_t flushInbound(std::size_t island) override;
+    /** BarrierAgent: evaluate deferred cross-island checks for @p island
+     * whose key (at + lookahead) is covered by @p horizon; a quiesce
+     * flush (now == horizon) judges everything with at <= now. */
+    std::uint64_t flushInbound(std::size_t island, Time now,
+                               Time horizon) override;
 
   private:
     struct FlowKey
@@ -283,8 +292,9 @@ class InvariantMonitor : public ShardedKernel::BarrierAgent
 
     /**
      * A deferred cross-island check, parked in a (src, dst) channel
-     * until the next window barrier. (at, wireId) orders the barrier
-     * merge — a strict total order, wire ids are unique.
+     * until the destination's first window whose horizon covers
+     * at + lookahead. (at, wireId) orders the drain merge — a strict
+     * total order, wire ids are unique.
      */
     struct CrossRecord
     {
@@ -310,8 +320,10 @@ class InvariantMonitor : public ShardedKernel::BarrierAgent
         std::uint64_t violationCount = 0;
         std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
         std::uint64_t packetsObserved = 0;
-        std::vector<std::vector<CrossRecord>> out;  ///< per dst island
-        std::vector<CrossRecord> inbox;             ///< barrier scratch
+        /** Outbound channels keyed by at + lookahead, one per dst
+         * island (a deque: CrossChannel holds a mutex, must not move). */
+        std::deque<CrossChannel<CrossRecord>> out;
+        std::vector<CrossRecord> inbox;  ///< drain merge scratch
     };
 
     void onEgress(const net::Packet& pkt, bool dropped);

@@ -19,7 +19,8 @@ Cluster::Cluster(rnic::DeviceProfile profile, std::size_t node_count,
         // per-packet overhead; serialization and chaos delays only push
         // that later, so latency + overhead is a sound lower bound.
         const Time lookahead = link.latency + link.perPacketOverhead;
-        kernel_ = std::make_unique<ShardedKernel>(lookahead, options.jobs);
+        kernel_ = std::make_unique<ShardedKernel>(lookahead, options.jobs,
+                                                  options.scheduleMode);
         fabric_.enableSharding(*kernel_);
     }
     for (std::size_t i = 0; i < node_count; ++i)
@@ -53,6 +54,22 @@ Cluster::addNode(const rnic::DeviceProfile& profile)
     nodes_.push_back(std::make_unique<Node>(events_, rng_, fabric_,
                                             nextLid_++, profile));
     return *nodes_.back();
+}
+
+std::vector<Node*>
+Cluster::addNodePlanes(const rnic::DeviceProfile& profile, unsigned planes)
+{
+    std::vector<Node*> out;
+    // All planes share one logical island (the first plane's index) so
+    // stats attribute their work to the machine they model.
+    const std::size_t logical = kernel_ ? kernel_->islandCount() : 0;
+    for (unsigned p = 0; p < std::max(1u, planes); ++p) {
+        Node& node = addNode(profile);
+        if (kernel_)
+            kernel_->setLogicalIsland(kernel_->islandCount() - 1, logical);
+        out.push_back(&node);
+    }
+    return out;
 }
 
 std::string

@@ -41,10 +41,11 @@ namespace ibsim {
  * ShardedKernel with conservative lookahead = link latency + per-packet
  * overhead (the minimum time any packet needs to cross islands). Every
  * island gets its own SeedStream-forked RNG, wire-id space and packet
- * pool, so a run is deterministic for a fixed seed at ANY worker count:
- * jobs = 1 (inline, no threads) through jobs = N produce bit-identical
- * trace hashes, per-QP stats and oracle verdicts. Island mode is its own
- * deterministic mode — not a bit-replay of the single-queue schedule.
+ * pool, so a run is deterministic for a fixed seed at ANY worker count
+ * and ANY ScheduleMode: jobs = 1 (inline, no threads) through jobs = N,
+ * Static or Stealing, produce bit-identical trace hashes, per-QP stats
+ * and oracle verdicts. Island mode is its own deterministic mode — not a
+ * bit-replay of the single-queue schedule.
  */
 struct ClusterOptions
 {
@@ -53,6 +54,11 @@ struct ClusterOptions
 
     /** Worker threads for the sharded kernel (clamped to node count). */
     unsigned jobs = 1;
+
+    /** Who executes which island (content is mode-invariant): Stealing
+     * lets idle workers claim hot islands at window granularity, Static
+     * pins contiguous island blocks per worker (the PR-6 fallback). */
+    ScheduleMode scheduleMode = ScheduleMode::Stealing;
 };
 
 /**
@@ -81,6 +87,21 @@ class Cluster
     /** Add another node (optionally with a different profile). */
     Node& addNode();
     Node& addNode(const rnic::DeviceProfile& profile);
+
+    /**
+     * Add one *hot machine* modeled as @p planes sibling nodes — the
+     * per-QP-group island split. Each plane has its own LID, RNIC and
+     * (in island mode) its own kernel island, so one hot endpoint (the
+     * flood bench's client) no longer serializes a whole window: spread
+     * its QP groups across the planes and the scheduler balances them
+     * independently. All planes map to one *logical* island, so
+     * KernelStats::executedPerIsland attributes their work to the
+     * machine, not the plane. Identical node/LID layout in single-queue
+     * mode (plain sibling nodes) — the differential tests compare the
+     * same topology in both modes. Returns the planes in order.
+     */
+    std::vector<Node*> addNodePlanes(const rnic::DeviceProfile& profile,
+                                     unsigned planes);
 
     Node& node(std::size_t index) { return *nodes_.at(index); }
     std::size_t nodeCount() const { return nodes_.size(); }

@@ -329,8 +329,15 @@ Fabric::deliverSharded(std::size_t lane_index, Packet pkt,
     if (dstIsland == lane_index) {
         finalizeIngress(dstIsland, std::move(pkt), arrive0, serialization);
     } else {
-        lane.out[dstIsland].push_back(
-            {arrive0, serialization, pkt.wireId, std::move(pkt)});
+        assert(kernel_->hasEdge(lane_index, dstIsland) &&
+               "cross-island send along an undeclared route");
+        // Keyed by effect time: the first event this parcel can schedule
+        // at the destination (ingress chaining only pushes it later).
+        const Time effect = arrive0 + config_.perPacketOverhead;
+        const std::uint64_t wireId = pkt.wireId;
+        lane.out[dstIsland].push(
+            effect.toNs(),
+            Parcel{arrive0, serialization, wireId, std::move(pkt)});
     }
 }
 
@@ -362,18 +369,27 @@ Fabric::finalizeIngress(std::size_t dst_island, Packet pkt, Time arrive0,
 }
 
 std::uint64_t
-Fabric::flushInbound(std::size_t island)
+Fabric::flushInbound(std::size_t island, Time /*now*/, Time horizon)
 {
+    // Drain every parcel whose effect fits below the window horizon.
+    // The kernel only passes a horizon at or below the island's safe
+    // channel-clock bound, which guarantees all such parcels are already
+    // visible — so the drained set, and hence the merge below, is a pure
+    // function of virtual state (deterministic at any worker count).
     Lane& dst = lanes_[island];
     std::vector<Parcel>& in = dst.inbox;
     in.clear();
+    const std::int64_t threshold = horizon.toNs();
+    const Time overhead = config_.perPacketOverhead;
     for (Lane& src : lanes_) {
         if (&src == &dst)
             continue;
-        std::vector<Parcel>& channel = src.out[island];
-        for (Parcel& parcel : channel)
-            in.push_back(std::move(parcel));
-        channel.clear();
+        src.out[island].drainUpTo(
+            threshold,
+            [overhead](const Parcel& p) {
+                return (p.arrive0 + overhead).toNs();
+            },
+            in);
     }
     if (in.empty())
         return 0;
@@ -381,6 +397,8 @@ Fabric::flushInbound(std::size_t island)
     // Canonical merge order: (arrival, wire-id) is a strict total order
     // (wire ids are unique), so the ingress max-chain below is identical
     // whatever the worker count or source-lane completion order was.
+    // Effect order equals arrival order (a constant offset apart), so
+    // successive drains inject in globally sorted order too.
     std::sort(in.begin(), in.end(), [](const Parcel& a, const Parcel& b) {
         return a.arrive0 != b.arrive0 ? a.arrive0 < b.arrive0
                                       : a.wireId < b.wireId;
@@ -390,6 +408,45 @@ Fabric::flushInbound(std::size_t island)
                         parcel.serialization);
     }
     return in.size();
+}
+
+Time
+Fabric::inboundEarliest(std::size_t island)
+{
+    std::int64_t earliest = CrossChannel<Parcel>::kEmpty;
+    for (Lane& src : lanes_)
+        earliest = std::min(earliest, src.out[island].minKey());
+    return earliest == CrossChannel<Parcel>::kEmpty ? Time::max()
+                                                    : Time::fromNs(earliest);
+}
+
+std::size_t
+Fabric::inboundPending(std::size_t island)
+{
+    std::size_t total = 0;
+    for (Lane& src : lanes_)
+        total += src.out[island].size();
+    return total;
+}
+
+void
+Fabric::declareRoute(std::uint16_t src_lid, std::uint16_t dst_lid)
+{
+    if (!sharded())
+        return;
+    if (dst_lid >= islandOfLid_.size())
+        return;  // never-assigned LID: packets to it drop at egress
+    const std::size_t src = islandOf(src_lid);
+    const std::size_t dst = islandOf(dst_lid);
+    kernel_->declareEdge(src, dst);
+    kernel_->declareEdge(dst, src);
+}
+
+void
+Fabric::declareDenseIsland(std::size_t island)
+{
+    if (sharded())
+        kernel_->declareDense(island);
 }
 
 std::uint64_t

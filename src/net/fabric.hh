@@ -23,6 +23,7 @@
 #include "net/loss.hh"
 #include "net/packet.hh"
 #include "net/packet_pool.hh"
+#include "simcore/cross_channel.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
 #include "simcore/sharded_kernel.hh"
@@ -73,12 +74,20 @@ using CaptureTap = std::function<void(const Packet&, bool dropped)>;
  *    ShardedKernel and the fabric keeps one Lane per island — its own
  *    wire-id space, RNG fork, PacketPool, fault hook and outbound
  *    channels. Same-island packets take the inline path on the island's
- *    queue; cross-island packets become Parcels carrying their earliest
- *    arrival time and are injected at the next window barrier in
- *    (arrival, wire-id) order, where the destination port's ingress
- *    serialization max-chain is applied by the owning island. Both the
- *    egress and ingress busy-times of a port are therefore only ever
- *    touched by that port's island. Loss models and fault hooks shared
+ *    queue; cross-island packets become Parcels in per-(src, dst)
+ *    CrossChannels keyed by their *effect* time (earliest arrival plus
+ *    the per-packet overhead — the first event they can schedule). The
+ *    destination island drains every channel up to its window horizon
+ *    before running the window, merging parcels in (arrival, wire-id)
+ *    order and applying the destination port's ingress serialization
+ *    max-chain; the kernel's pairwise channel clocks guarantee every
+ *    parcel at or below the horizon is already visible (DESIGN.md
+ *    §12.b), so there is no global barrier anywhere on the path. Both
+ *    the egress and ingress busy-times of a port are only ever touched
+ *    by that port's island. The fabric forwards each connection's route
+ *    to the kernel's edge graph (declareRoute(); UD-capable islands
+ *    declare dense edges), which is what lets distant islands run
+ *    windows without synchronizing. Loss models and fault hooks shared
  *    across lanes would race at jobs > 1 — use setIslandFaultHook()
  *    (chaos::ChaosEngine::installSharded() does) and stateless loss
  *    models only.
@@ -199,8 +208,32 @@ class Fabric : public ShardedKernel::BarrierAgent
     /** Per-island fault hook (island mode; nullptr uninstalls). */
     void setIslandFaultHook(std::size_t island, FaultHook* hook);
 
-    /** BarrierAgent: merge-inject parcels bound for @p island. */
-    std::uint64_t flushInbound(std::size_t island) override;
+    /**
+     * Declare to the kernel's edge graph that traffic flows between the
+     * islands of the two LIDs, both directions (requests one way, ACKs
+     * back). An unassigned destination LID (a timeout experiment's
+     * vanishing peer) declares nothing — its packets drop at egress. A
+     * no-op when unsharded. rnic::Rnic calls this on every connect.
+     */
+    void declareRoute(std::uint16_t src_lid, std::uint16_t dst_lid);
+
+    /**
+     * Declare dense edges for @p island — the sound fallback for
+     * islands whose destinations are not known at setup (a UD QP names
+     * its destination per work request).
+     */
+    void declareDenseIsland(std::size_t island);
+
+    /** BarrierAgent: inject parcels for @p island with effect
+     * <= @p horizon, in (arrival, wire-id) merge order. */
+    std::uint64_t flushInbound(std::size_t island, Time now,
+                               Time horizon) override;
+
+    /** BarrierAgent: earliest buffered parcel effect for @p island. */
+    Time inboundEarliest(std::size_t island) override;
+
+    /** BarrierAgent: buffered parcels bound for @p island. */
+    std::size_t inboundPending(std::size_t island) override;
 
     /** @} */
 
@@ -238,11 +271,13 @@ class Fabric : public ShardedKernel::BarrierAgent
      * channel: arrive0 is its earliest ingress arrival (egress
      * serialization, latency and chaos delay already applied by the
      * source island); the destination island applies its ingress
-     * max-chain at the barrier, merging parcels from every source lane
-     * in (arrive0, wireId) order — a strict total order, because wire
-     * ids are unique. Channels are plain vectors: written by exactly one
-     * island during a window, drained by exactly one island at the
-     * barrier, never both at once (the kernel's phase separation).
+     * max-chain when it drains the channel, merging parcels from every
+     * source lane in (arrive0, wireId) order — a strict total order,
+     * because wire ids are unique. Channels are CrossChannels keyed by
+     * the parcel's effect time (arrive0 + perPacketOverhead, the first
+     * event it can schedule): producer and consumer islands run
+     * concurrently under pairwise channel clocks, and the key is what a
+     * drain's horizon threshold compares against.
      */
     struct Parcel
     {
@@ -267,8 +302,10 @@ class Fabric : public ShardedKernel::BarrierAgent
         std::uint64_t delivered = 0;
         std::uint64_t dropped = 0;
         std::uint64_t injected = 0;
-        std::vector<std::vector<Parcel>> out;  ///< per destination island
-        std::vector<Parcel> inbox;             ///< barrier merge scratch
+        /** Outbound channels, one per destination island (a deque:
+         * CrossChannel holds a mutex and must never move). */
+        std::deque<CrossChannel<Parcel>> out;
+        std::vector<Parcel> inbox;  ///< drain merge scratch
     };
 
     std::uint64_t sendSharded(Packet pkt);

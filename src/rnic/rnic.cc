@@ -77,12 +77,18 @@ Rnic::createQp(verbs::CompletionQueue& cq, verbs::QpConfig config)
     record.requester = std::make_unique<RcRequester>(*this, *record.ctx);
     record.responder = std::make_unique<RcResponder>(*this, *record.ctx);
     qps_.push_back(std::move(record));
+    // A UD QP addresses peers per work request, so its island's
+    // cross-island routes cannot be declared connection by connection —
+    // fall back to dense edges (sound, just conservative).
+    if (config.transport == verbs::Transport::Ud)
+        fabric_.declareDenseIsland(fabric_.islandOf(lid_));
     return *qps_.back().ctx;
 }
 
 void
 Rnic::connectQp(QpContext& qp, std::uint16_t dst_lid, std::uint32_t dst_qpn)
 {
+    fabric_.declareRoute(lid_, dst_lid);
     qp.dstLid = dst_lid;
     qp.dstQpn = dst_qpn;
     qp.connected = true;

@@ -2,22 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace ibsim {
 
-ShardedKernel::ShardedKernel(Time lookahead, unsigned jobs)
-    : lookahead_(lookahead), jobs_(std::max(1u, jobs))
+namespace {
+
+std::uint64_t
+elapsedNs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+}
+
+} // namespace
+
+ShardedKernel::ShardedKernel(Time lookahead, unsigned jobs,
+                             ScheduleMode mode)
+    : lookahead_(lookahead), jobs_(std::max(1u, jobs)), mode_(mode)
 {
     assert(lookahead_ > Time() && "lookahead must be positive");
 }
 
 ShardedKernel::~ShardedKernel()
 {
-    if (!workers_.empty()) {
-        phase_ = Phase::Exit;
+    if (workers_.size() > 1) {
+        exit_.store(true, std::memory_order_relaxed);
         epoch_.fetch_add(1, std::memory_order_release);
-        for (auto& w : workers_)
-            w.join();
+        for (auto& w : workers_) {
+            if (w.thread.joinable())
+                w.thread.join();
+        }
     }
 }
 
@@ -25,9 +42,72 @@ std::size_t
 ShardedKernel::addIsland()
 {
     assert(!started_ && "islands are fixed once the kernel has run");
-    islands_.push_back(std::make_unique<EventQueue>());
-    parcelsPerIsland_.push_back(0);
+    islands_.emplace_back();
+    islands_.back().queue = std::make_unique<EventQueue>();
+    logicalOf_.push_back(islands_.size() - 1);
     return islands_.size() - 1;
+}
+
+void
+ShardedKernel::declareEdge(std::size_t src, std::size_t dst)
+{
+    if (src == dst)
+        return;  // same-island influence is inline, no clock involved
+    anyEdgeDeclared_ = true;
+    const std::size_t n = islands_.size();
+    if (edges_.size() != n) {
+        edges_.assign(n, std::vector<std::uint8_t>(n, 0));
+    }
+    assert(src < n && dst < n);
+    if (edges_[src][dst])
+        return;
+    edges_[src][dst] = 1;
+    if (started_)
+        rebuildNeighbors();  // only legal while quiesced (between runs)
+}
+
+void
+ShardedKernel::declareDense(std::size_t island)
+{
+    for (std::size_t j = 0; j < islands_.size(); ++j) {
+        declareEdge(island, j);
+        declareEdge(j, island);
+    }
+}
+
+bool
+ShardedKernel::hasEdge(std::size_t src, std::size_t dst) const
+{
+    if (src == dst)
+        return true;
+    if (!anyEdgeDeclared_)
+        return true;  // undeclared graph = conservative dense default
+    if (edges_.size() != islands_.size())
+        return false;
+    return edges_[src][dst] != 0;
+}
+
+void
+ShardedKernel::setLogicalIsland(std::size_t island, std::size_t logical)
+{
+    assert(island < logicalOf_.size());
+    logicalOf_[island] = logical;
+}
+
+std::size_t
+ShardedKernel::logicalIslandCount() const
+{
+    std::size_t count = 0;
+    for (std::size_t logical : logicalOf_)
+        count = std::max(count, logical + 1);
+    return count;
+}
+
+void
+ShardedKernel::setWindowsPerRound(unsigned windows)
+{
+    assert(windows > 0);
+    windowsPerRound_ = windows;
 }
 
 void
@@ -44,6 +124,20 @@ ShardedKernel::removeBarrierAgent(BarrierAgent* agent)
 }
 
 void
+ShardedKernel::rebuildNeighbors()
+{
+    const std::size_t n = islands_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        Island& is = islands_[i];
+        is.inNbr.clear();
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i && hasEdge(j, i))
+                is.inNbr.push_back(static_cast<std::uint32_t>(j));
+        }
+    }
+}
+
+void
 ShardedKernel::startWorkers()
 {
     if (started_)
@@ -51,30 +145,190 @@ ShardedKernel::startWorkers()
     started_ = true;
     jobs_ = static_cast<unsigned>(std::min<std::size_t>(
         jobs_, std::max<std::size_t>(1, islands_.size())));
+    rebuildNeighbors();
+    for (unsigned w = 0; w < jobs_; ++w)
+        workers_.emplace_back();
     for (unsigned w = 1; w < jobs_; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
+        workers_[w].thread = std::thread([this, w] { workerLoop(w); });
+}
+
+Time
+ShardedKernel::gridEnd(Time t) const
+{
+    const std::int64_t l = lookahead_.toNs();
+    return Time::fromNs((t.toNs() / l + 1) * l);
+}
+
+Time
+ShardedKernel::safeHorizon(const Island& is) const
+{
+    if (is.inNbr.empty())
+        return Time::max();
+    std::int64_t m = Time::max().toNs();
+    for (std::uint32_t nbr : is.inNbr) {
+        m = std::min(m,
+                     islands_[nbr].done.load(std::memory_order_acquire));
+    }
+    if (m >= Time::max().toNs() - lookahead_.toNs())
+        return Time::max();
+    return Time::fromNs(m + lookahead_.toNs());
+}
+
+Time
+ShardedKernel::inboundEarliest(std::size_t i) const
+{
+    Time earliest = Time::max();
+    for (BarrierAgent* agent : agents_)
+        earliest = std::min(earliest, agent->inboundEarliest(i));
+    return earliest;
+}
+
+ShardedKernel::Step
+ShardedKernel::stepIsland(unsigned, std::size_t i, Time round_limit)
+{
+    Island& is = islands_[i];
+    EventQueue& q = *is.queue;
+    bool advanced = false;
+    for (;;) {
+        Time done = Time::fromNs(is.done.load(std::memory_order_relaxed));
+
+        if (done >= round_limit) {
+            // Degenerate round (limit == the synchronized clock): the
+            // island starts already at the round limit.
+            is.roundDone.store(true, std::memory_order_relaxed);
+            doneCount_.fetch_add(1, std::memory_order_release);
+            return Step::RoundDone;
+        }
+
+        // Read the in-neighbor clocks BEFORE probing channels: a clock
+        // published at c guarantees (release/acquire) that every item
+        // with effect <= c + lookahead is visible, so probing after the
+        // clock read can never miss work the horizon permits consuming.
+        const Time safe = safeHorizon(is);
+        const Time next =
+            std::min(q.nextEventTime(), inboundEarliest(i));
+
+        if (next > round_limit) {
+            // Nothing to execute this round: publish clock up to the
+            // horizon (the null-message leapfrog that unblocks
+            // downstream islands) and finish the round when possible.
+            const Time target = std::min(round_limit, safe);
+            if (target <= done) {
+                is.maxLagNs = std::max(
+                    is.maxLagNs, static_cast<std::uint64_t>(
+                                     (round_limit - safe).toNs()));
+                return advanced ? Step::Advanced : Step::Blocked;
+            }
+            is.done.store(target.toNs(), std::memory_order_release);
+            advanced = true;
+            if (target == round_limit) {
+                is.roundDone.store(true, std::memory_order_relaxed);
+                doneCount_.fetch_add(1, std::memory_order_release);
+                return Step::RoundDone;
+            }
+            continue;
+        }
+
+        // Execute the grid window holding the earliest pending work.
+        const Time wEnd = gridEnd(next);
+        const Time runLimit = std::max(
+            std::min(wEnd - Time::ns(1), round_limit), done);
+        if (runLimit > safe) {
+            // Window not yet safe; creep the clock toward it so the
+            // upstream islands' own horizons keep moving too.
+            const Time target = std::min(safe, next - Time::ns(1));
+            if (target <= done) {
+                is.maxLagNs = std::max(
+                    is.maxLagNs,
+                    static_cast<std::uint64_t>((runLimit - safe).toNs()));
+                return advanced ? Step::Advanced : Step::Blocked;
+            }
+            is.done.store(target.toNs(), std::memory_order_release);
+            advanced = true;
+            continue;
+        }
+
+        std::uint64_t parcels = 0;
+        for (BarrierAgent* agent : agents_)
+            parcels += agent->flushInbound(i, done, runLimit);
+        is.parcels += parcels;
+        q.run(runLimit);
+        q.syncClock(runLimit);
+        is.done.store(runLimit.toNs(), std::memory_order_release);
+        ++is.windows;
+        advanced = true;
+        if (runLimit == round_limit) {
+            is.roundDone.store(true, std::memory_order_relaxed);
+            doneCount_.fetch_add(1, std::memory_order_release);
+            return Step::RoundDone;
+        }
+    }
 }
 
 void
-ShardedKernel::workerShare(unsigned worker)
+ShardedKernel::workerRound(unsigned worker)
 {
+    using clock = std::chrono::steady_clock;
+    const auto roundStart = clock::now();
+    std::uint64_t busy = 0;
     const std::size_t n = islands_.size();
-    switch (phase_) {
-    case Phase::RunWindow:
-        for (std::size_t i = worker; i < n; i += jobs_)
-            islands_[i]->run(phaseLimit_);
-        break;
-    case Phase::Flush:
-        for (std::size_t i = worker; i < n; i += jobs_) {
-            std::uint64_t parcels = 0;
-            for (BarrierAgent* agent : agents_)
-                parcels += agent->flushInbound(i);
-            parcelsPerIsland_[i] += parcels;
+    const bool stealing = mode_ == ScheduleMode::Stealing && jobs_ > 1;
+
+    // Static mode: a fixed contiguous block (keeps neighboring islands —
+    // e.g. the flood bench's client/server pairs — on one worker).
+    // Stealing mode: scan every island, starting at this worker's block
+    // so workers spread out before they collide on claims.
+    std::size_t lo = static_cast<std::size_t>(worker) * n / jobs_;
+    std::size_t hi = stealing
+                         ? lo + n
+                         : static_cast<std::size_t>(worker + 1) * n / jobs_;
+
+    for (;;) {
+        bool progress = false;
+        for (std::size_t s = lo; s < hi; ++s) {
+            const std::size_t i = stealing ? s % n : s;
+            Island& is = islands_[i];
+            if (is.roundDone.load(std::memory_order_relaxed))
+                continue;
+            if (stealing) {
+                std::uint8_t expect = 0;
+                if (!is.claim.compare_exchange_strong(
+                        expect, 1, std::memory_order_acquire,
+                        std::memory_order_relaxed))
+                    continue;
+                if (is.roundDone.load(std::memory_order_relaxed)) {
+                    is.claim.store(0, std::memory_order_release);
+                    continue;
+                }
+                const auto t0 = clock::now();
+                const Step step = stepIsland(worker, i, roundLimit_);
+                if (step != Step::Blocked) {
+                    busy += elapsedNs(t0, clock::now());
+                    progress = true;
+                    if (is.lastWorker != 0xff &&
+                        is.lastWorker != static_cast<std::uint8_t>(worker))
+                        steals_.fetch_add(1, std::memory_order_relaxed);
+                    is.lastWorker = static_cast<std::uint8_t>(worker);
+                }
+                is.claim.store(0, std::memory_order_release);
+            } else {
+                const auto t0 = clock::now();
+                const Step step = stepIsland(worker, i, roundLimit_);
+                if (step != Step::Blocked) {
+                    busy += elapsedNs(t0, clock::now());
+                    progress = true;
+                }
+            }
         }
-        break;
-    case Phase::Exit:
-        break;
+        if (doneCount_.load(std::memory_order_acquire) >= n)
+            break;
+        if (!progress)
+            std::this_thread::yield();
     }
+
+    Worker& me = workers_[worker];
+    me.busyNs += busy;
+    me.totalNs += elapsedNs(roundStart, clock::now());
 }
 
 void
@@ -82,8 +336,8 @@ ShardedKernel::workerLoop(unsigned worker)
 {
     std::uint64_t seen = 0;
     for (;;) {
-        // Spin briefly (windows are sub-microsecond apart when busy),
-        // then yield so oversubscribed machines still make progress.
+        // Spin briefly (rounds are close together when busy), then
+        // yield so oversubscribed machines still make progress.
         int spins = 0;
         while (epoch_.load(std::memory_order_acquire) == seen) {
             if (++spins > 256) {
@@ -92,25 +346,29 @@ ShardedKernel::workerLoop(unsigned worker)
             }
         }
         ++seen;
-        if (phase_ == Phase::Exit)
+        if (exit_.load(std::memory_order_relaxed))
             return;
-        workerShare(worker);
+        workerRound(worker);
         outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     }
 }
 
 void
-ShardedKernel::dispatch(Phase phase, Time limit)
+ShardedKernel::dispatchRound(Time init_done, Time round_limit)
 {
-    phase_ = phase;
-    phaseLimit_ = limit;
-    if (workers_.empty()) {
-        workerShare(0);
+    roundLimit_ = round_limit;
+    for (Island& is : islands_) {
+        is.done.store(init_done.toNs(), std::memory_order_relaxed);
+        is.roundDone.store(false, std::memory_order_relaxed);
+    }
+    doneCount_.store(0, std::memory_order_relaxed);
+    if (jobs_ <= 1) {
+        workerRound(0);
         return;
     }
     outstanding_.store(jobs_ - 1, std::memory_order_relaxed);
     epoch_.fetch_add(1, std::memory_order_release);
-    workerShare(0);  // the coordinator is worker 0
+    workerRound(0);  // the coordinator is worker 0
     int spins = 0;
     while (outstanding_.load(std::memory_order_acquire) != 0) {
         if (++spins > 256) {
@@ -121,21 +379,39 @@ ShardedKernel::dispatch(Phase phase, Time limit)
 }
 
 Time
-ShardedKernel::earliestEvent()
+ShardedKernel::earliestPending() const
 {
     Time earliest = Time::max();
-    for (auto& island : islands_)
-        earliest = std::min(earliest, island->nextEventTime());
+    for (const Island& is : islands_)
+        earliest = std::min(earliest, is.queue->nextEventTime());
+    for (std::size_t i = 0; i < islands_.size(); ++i)
+        earliest = std::min(earliest, inboundEarliest(i));
     return earliest;
 }
 
 void
 ShardedKernel::syncClocks(Time t)
 {
-    for (auto& island : islands_)
-        island->syncClock(t);
+    for (Island& is : islands_)
+        is.queue->syncClock(t);
     if (t > now_)
         now_ = t;
+}
+
+void
+ShardedKernel::quiesceFlush(Time t)
+{
+    // Sequential, in island order: judge every deferred check that the
+    // run left behind (channel clocks only flush an island's inbox when
+    // it executes, so checks emitted in the final windows linger).
+    // Event-producing parcels with effect <= t cannot exist here — the
+    // conservative horizon flushed them before the owning window ran.
+    for (std::size_t i = 0; i < islands_.size(); ++i) {
+        std::uint64_t parcels = 0;
+        for (BarrierAgent* agent : agents_)
+            parcels += agent->flushInbound(i, t, t);
+        islands_[i].parcels += parcels;
+    }
 }
 
 bool
@@ -144,36 +420,40 @@ ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
 {
     startWorkers();
     for (;;) {
-        // At the loop top all channels are empty (the previous barrier
-        // flushed them), so the islands' queues hold the complete
-        // pending set and this minimum is the true next event time.
+        // Round boundaries are the quiesce points: every worker is
+        // parked, all clocks agree, channels hold only future work.
         if (pred != nullptr && (*pred)()) {
             *pred_hit = true;
+            quiesceFlush(now_);
             return false;
         }
-        const Time earliest = earliestEvent();
-        if (earliest == Time::max())
+        const Time earliest = earliestPending();
+        if (earliest == Time::max()) {
+            quiesceFlush(now_);
             return true;  // drained
+        }
         if (earliest > limit) {
             syncClocks(limit);
+            quiesceFlush(limit);
             return false;
         }
 
-        // Window [start, start + lookahead): every island executes its
-        // events with when <= runLimit (strictly before the window end,
-        // or up to the caller's limit — events at exactly `limit` run,
-        // matching EventQueue::run()). Anything one island schedules
-        // into another during this window lands at or after the window
-        // end, so it cannot be missed: the barrier flush below injects
-        // it before the next window begins.
-        const Time start = std::max(now_, earliest);
-        const Time end = start + lookahead_;
-        const Time runLimit = std::min(end - Time::ns(1), limit);
-        dispatch(Phase::RunWindow, runLimit);
-        dispatch(Phase::Flush, runLimit);
-        ++windows_;
-        ++barriers_;
-        syncClocks(runLimit);
+        // The round covers windowsPerRound grid windows starting at the
+        // slot holding the earliest pending work — idle gaps are jumped
+        // here, globally and deterministically, instead of leapfrogged
+        // window by window.
+        const std::int64_t l = lookahead_.toNs();
+        const Time base = std::max(now_, earliest);
+        const Time roundStart = Time::fromNs(base.toNs() / l * l);
+        const Time roundEnd = Time::fromNs(
+            roundStart.toNs() +
+            l * static_cast<std::int64_t>(windowsPerRound_));
+        const Time roundLimit = std::min(roundEnd - Time::ns(1), limit);
+        const Time initDone =
+            std::max(roundStart - Time::ns(1), now_);
+        dispatchRound(initDone, roundLimit);
+        ++rounds_;
+        syncClocks(roundLimit);
     }
 }
 
@@ -203,8 +483,8 @@ std::uint64_t
 ShardedKernel::executed() const
 {
     std::uint64_t total = 0;
-    for (const auto& island : islands_)
-        total += island->executed();
+    for (const Island& is : islands_)
+        total += is.queue->executed();
     return total;
 }
 
@@ -212,8 +492,11 @@ std::size_t
 ShardedKernel::pending() const
 {
     std::size_t total = 0;
-    for (const auto& island : islands_)
-        total += island->pending();
+    for (const Island& is : islands_)
+        total += is.queue->pending();
+    for (std::size_t i = 0; i < islands_.size(); ++i)
+        for (BarrierAgent* agent : agents_)
+            total += agent->inboundPending(i);
     return total;
 }
 
@@ -221,17 +504,38 @@ ShardedKernel::KernelStats
 ShardedKernel::kernelStats() const
 {
     KernelStats s;
-    s.barriers = barriers_;
-    s.windows = windows_;
-    s.executedPerIsland.reserve(islands_.size());
+    s.barriers = rounds_;
+    s.steals = steals_.load(std::memory_order_relaxed);
+
+    // Aggregate per *logical* island: a split node's planes fold into
+    // one entry (the machine they model), and logical ids that no
+    // physical island maps to are dropped rather than reported as
+    // zero-work islands that would fake the imbalance spread.
+    std::vector<std::uint64_t> perLogical(logicalIslandCount(), 0);
+    std::vector<std::uint8_t> used(logicalIslandCount(), 0);
     for (std::size_t i = 0; i < islands_.size(); ++i) {
-        const std::uint64_t executed = islands_[i]->executed();
-        s.executedPerIsland.push_back(executed);
-        s.channelParcels += parcelsPerIsland_[i];
+        const Island& is = islands_[i];
+        s.windows += is.windows;
+        s.channelParcels += is.parcels;
+        s.maxClockLagNs = std::max(s.maxClockLagNs, is.maxLagNs);
+        perLogical[logicalOf_[i]] += is.queue->executed();
+        used[logicalOf_[i]] = 1;
+    }
+    for (std::size_t logical = 0; logical < perLogical.size(); ++logical) {
+        if (!used[logical])
+            continue;
+        const std::uint64_t executed = perLogical[logical];
         s.maxIslandExecuted = std::max(s.maxIslandExecuted, executed);
-        s.minIslandExecuted = i == 0
+        s.minIslandExecuted = s.executedPerIsland.empty()
                                   ? executed
                                   : std::min(s.minIslandExecuted, executed);
+        s.executedPerIsland.push_back(executed);
+    }
+    for (const Worker& w : workers_) {
+        s.workerBusyFraction.push_back(
+            w.totalNs == 0 ? 0.0
+                           : static_cast<double>(w.busyNs) /
+                                 static_cast<double>(w.totalNs));
     }
     return s;
 }

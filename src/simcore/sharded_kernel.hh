@@ -3,25 +3,42 @@
  * Conservative-lookahead parallel driver over per-island EventQueues.
  *
  * A ShardedKernel partitions a simulation into islands — in the cluster
- * layer one island per node (the node's RNIC plus its fabric port) — each
- * owning a private EventQueue, and executes them in lockstep windows
- * [T, T + lookahead). The lookahead is the minimum latency any influence
- * needs to cross between islands (for the fabric: link latency plus the
- * per-packet overhead, since serialization and chaos delays only push
- * arrivals later), so everything scheduled inside a window by another
- * island lands strictly after the window's end barrier. Cross-island
- * work travels through per-(src, dst) channels that BarrierAgents (the
- * Fabric, the InvariantMonitor) drain at each barrier, merging batches
- * in canonical (timestamp, wire-id) order — which makes the execution
- * deterministic for a fixed seed regardless of the worker count.
+ * layer one island per node (or per node *plane* when a hot node is
+ * split) — each owning a private EventQueue. Cross-island work travels
+ * through per-(src, dst) channels that BarrierAgents (the Fabric, the
+ * InvariantMonitor) drain in canonical (timestamp, wire-id) order, which
+ * makes the execution deterministic for a fixed seed regardless of the
+ * worker count or schedule mode.
  *
- * Threading model: islands are assigned to workers by the fixed mapping
- * island % jobs. Every window runs two parallel phases — execute the
- * window, then flush each island's inbound channels — separated by spin
- * barriers. jobs = 1 runs the identical windowed algorithm inline with
- * no threads at all, which is the "sequential" reference the differential
- * tests compare against: a jobs = N run must be bit-identical to it
- * (trace hashes, per-QP stats, oracle verdicts).
+ * Synchronization is pairwise, not global. Every island publishes a
+ * channel clock — the virtual time it has fully executed and flushed
+ * through — and an island only blocks on the minimum clock of its
+ * *in-neighbors* in the declared edge graph (declareEdge(); the cluster
+ * layer declares an edge per QP connection, and a UD-capable island
+ * falls back to dense edges because UD datagrams name their destination
+ * per work request). The lookahead L is the minimum virtual time any
+ * cross-island influence needs (link latency + per-packet overhead), so
+ * an island whose in-neighbors have published clock c may safely execute
+ * through c + L: everything its neighbors still owe it lands strictly
+ * later. Windows are aligned to an absolute grid of L-sized slots, which
+ * keeps each island's flush/run step sequence a pure function of the
+ * virtual state — the determinism backbone (DESIGN.md §12.b).
+ *
+ * Execution is batched into *rounds* of windowsPerRound() grid windows.
+ * Inside a round islands run fully asynchronously under the channel-clock
+ * constraint; between rounds the kernel quiesces once to check
+ * runUntil() predicates, detect drain, and jump over idle gaps to the
+ * globally earliest pending work. Two schedule modes pick who executes
+ * which island: ScheduleMode::Static pins contiguous island blocks to
+ * workers (the PR-6 style fallback), ScheduleMode::Stealing lets any
+ * idle worker claim any runnable island at window granularity via an
+ * atomic per-island claim (a steal is a claim by a different worker than
+ * the previous one). Claims only decide *who* executes; *what* each
+ * island executes per window is schedule-independent, so trace hashes,
+ * stats and oracle verdicts are bit-identical at any jobs count in
+ * either mode. jobs = 1 runs the identical round/window algorithm inline
+ * with no threads — the "sequential" reference the differential tests
+ * compare against.
  *
  * What the kernel deliberately does not do: share any RNG, wire-id
  * counter or packet pool between islands (the fabric forks all three per
@@ -37,6 +54,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -47,6 +65,15 @@
 
 namespace ibsim {
 
+/** Who executes which island (never *what* an island executes). */
+enum class ScheduleMode : std::uint8_t
+{
+    /** Fixed contiguous island blocks per worker (PR-6 style fallback). */
+    Static,
+    /** Idle workers claim any runnable island at window granularity. */
+    Stealing,
+};
+
 /**
  * Parallel conservative-lookahead driver over N island EventQueues.
  */
@@ -54,28 +81,53 @@ class ShardedKernel
 {
   public:
     /**
-     * A component holding cross-island channels. flushInbound(i) is
-     * called at every window barrier, once per island, from the worker
-     * that owns island i; it must inject everything queued for that
-     * island (merged in a canonical order) and return the parcel count.
-     * Phase separation guarantees no channel is written concurrently
-     * with its flush.
+     * A component holding cross-island channels (fabric, monitor, ...).
+     *
+     * flushInbound(i, now, horizon) is called by the worker currently
+     * executing island i immediately before each of i's windows, with
+     * `now` = i's channel clock (everything executed so far) and
+     * `horizon` = the window's run limit. The agent must
+     *
+     *  - inject every buffered item whose earliest *effect* (first event
+     *    it schedules) is <= horizon — the channel-clock protocol
+     *    guarantees all such items are already visible — and
+     *  - evaluate every deferred check whose timestamp is <= now (its
+     *    target state can no longer change before the check's meaning),
+     *
+     * both in the canonical (time, wire-id) merge order, and return the
+     * number of items consumed. The kernel additionally issues a
+     * sequential flush with now = horizon = the final synchronized clock
+     * whenever a run quiesces, so deferred checks never outlive a run.
      */
     class BarrierAgent
     {
       public:
         virtual ~BarrierAgent() = default;
 
-        /** Drain work queued for @p island since the last barrier. */
-        virtual std::uint64_t flushInbound(std::size_t island) = 0;
+        /** Drain work queued for @p island up to the given thresholds. */
+        virtual std::uint64_t flushInbound(std::size_t island, Time now,
+                                           Time horizon) = 0;
+
+        /**
+         * Earliest effect time buffered for @p island, Time::max() when
+         * none. Items that schedule events (parcels) must be reported —
+         * the kernel uses this to pick windows and detect drain; purely
+         * advisory items (deferred checks) may be omitted.
+         */
+        virtual Time inboundEarliest(std::size_t) { return Time::max(); }
+
+        /** Buffered event-producing items for @p island (for pending()). */
+        virtual std::size_t inboundPending(std::size_t) { return 0; }
     };
 
     /**
      * @param lookahead minimum cross-island influence latency (> 0)
      * @param jobs worker count; clamped to the island count at startup,
-     *        1 = run the same windowed algorithm inline, no threads
+     *        1 = run the same round/window algorithm inline, no threads
+     * @param mode who executes which island (content is mode-invariant)
      */
-    ShardedKernel(Time lookahead, unsigned jobs);
+    ShardedKernel(Time lookahead, unsigned jobs,
+                  ScheduleMode mode = ScheduleMode::Stealing);
     ~ShardedKernel();
 
     ShardedKernel(const ShardedKernel&) = delete;
@@ -84,16 +136,46 @@ class ShardedKernel
     /** Add an island (before the first run). Returns its index. */
     std::size_t addIsland();
 
-    EventQueue& island(std::size_t i) { return *islands_[i]; }
+    EventQueue& island(std::size_t i) { return *islands_[i].queue; }
     std::size_t islandCount() const { return islands_.size(); }
 
     /** Effective worker count (clamped once running). */
     unsigned jobs() const { return jobs_; }
 
+    ScheduleMode scheduleMode() const { return mode_; }
+
     Time lookahead() const { return lookahead_; }
 
-    /** Barrier-synchronized virtual time. */
+    /** Round-synchronized virtual time. */
     Time now() const { return now_; }
+
+    /** @{ The cross-island edge graph driving the channel clocks.
+     *
+     * declareEdge(src, dst) records that src can influence dst (packets,
+     * deferred checks); dst then blocks on src's clock. declareDense(i)
+     * connects i to every island both ways — the sound fallback for
+     * islands whose destinations are not known up front (UD). While no
+     * edge has ever been declared the kernel assumes a dense graph, so a
+     * raw kernel user who never declares edges gets conservative (and
+     * correct) all-pairs synchronization. Edges are normally declared at
+     * setup; declaring one mid-run is allowed only while the kernel is
+     * quiesced (between run()/advance() calls). */
+    void declareEdge(std::size_t src, std::size_t dst);
+    void declareDense(std::size_t island);
+    bool hasEdge(std::size_t src, std::size_t dst) const;
+    /** @} */
+
+    /** @{ Logical islands. Splitting a hot node over several islands
+     * (cluster addNodePlanes()) maps its planes to one *logical* island
+     * so KernelStats attributes work to the node, not to whichever
+     * worker or plane executed it. Defaults to identity. */
+    void setLogicalIsland(std::size_t island, std::size_t logical);
+    std::size_t logicalIslandCount() const;
+    /** @} */
+
+    /** Windows per round (the quiesce/steal-rebalance granularity). */
+    void setWindowsPerRound(unsigned windows);
+    unsigned windowsPerRound() const { return windowsPerRound_; }
 
     /** Register / remove a channel holder (fabric, monitor, ...). */
     void addBarrierAgent(BarrierAgent* agent);
@@ -108,10 +190,9 @@ class ShardedKernel
     bool run(Time limit = Time::max());
 
     /**
-     * Run until @p pred holds, checking at every window barrier (the
-     * sharded counterpart of EventQueue::runUntil()'s per-event check;
-     * windows are one lookahead — sub-microsecond — wide, so the
-     * predicate granularity is the lookahead, not the run).
+     * Run until @p pred holds, checking at every round boundary (the
+     * kernel quiesces once per windowsPerRound() grid windows; the
+     * predicate may read any cross-island state there).
      * @return true if the predicate was satisfied.
      */
     bool runUntil(const std::function<bool()>& pred,
@@ -123,78 +204,136 @@ class ShardedKernel
     /** Total events executed across all islands. */
     std::uint64_t executed() const;
 
-    /** Pending events across all islands. */
+    /** Pending events across all islands (incl. buffered parcels). */
     std::size_t pending() const;
 
     /**
-     * Sharding observability: barrier/window counts, channel traffic
-     * and the per-island event-count spread (imbalance is what caps the
-     * parallel speedup).
+     * Sharding observability: round/window counts, channel traffic, the
+     * per-logical-island event-count spread (imbalance is what caps the
+     * parallel speedup), and scheduler behaviour. steals, maxClockLagNs
+     * and workerBusyFraction describe the *schedule*, which is timing-
+     * dependent — they are not part of the deterministic surface the
+     * differential tests compare.
      */
     struct KernelStats
     {
-        std::uint64_t barriers = 0;        ///< window barriers crossed
-        std::uint64_t windows = 0;         ///< windows executed
-        std::uint64_t channelParcels = 0;  ///< cross-island parcels flushed
-        std::vector<std::uint64_t> executedPerIsland;
+        std::uint64_t barriers = 0;        ///< round quiesce points
+        std::uint64_t windows = 0;         ///< island-windows executed
+        std::uint64_t channelParcels = 0;  ///< cross-island items flushed
+        std::uint64_t steals = 0;          ///< cross-worker island claims
+        std::uint64_t maxClockLagNs = 0;   ///< worst blocked-island lag
+        std::vector<std::uint64_t> executedPerIsland;  ///< logical islands
         std::uint64_t maxIslandExecuted = 0;
         std::uint64_t minIslandExecuted = 0;
+        std::vector<double> workerBusyFraction;  ///< per worker
     };
 
     KernelStats kernelStats() const;
 
   private:
-    enum class Phase : std::uint8_t { RunWindow, Flush, Exit };
+    /** Outcome of one attempt to advance an island inside a round. */
+    enum class Step : std::uint8_t { Advanced, Blocked, RoundDone };
+
+    /** Per-island execution state. done is the published channel clock. */
+    struct alignas(64) Island
+    {
+        std::unique_ptr<EventQueue> queue;
+        std::atomic<std::int64_t> done{0};
+        std::atomic<std::uint8_t> claim{0};
+        std::atomic<bool> roundDone{false};
+        std::uint8_t lastWorker = 0xff;  ///< steal detection (under claim)
+        std::vector<std::uint32_t> inNbr;  ///< in-neighbor island indices
+        std::uint64_t windows = 0;       ///< windows executed (under claim)
+        std::uint64_t parcels = 0;       ///< items flushed (under claim)
+        std::uint64_t maxLagNs = 0;      ///< worst blocked lag (under claim)
+    };
+
+    /** Per-worker wall-clock accounting (observability only). */
+    struct alignas(64) Worker
+    {
+        std::thread thread;
+        std::uint64_t busyNs = 0;
+        std::uint64_t totalNs = 0;
+    };
 
     /**
-     * The window loop shared by run()/runUntil()/advance(). Channels
-     * are empty at every loop top (flushed by the previous barrier).
+     * The round loop shared by run()/runUntil()/advance().
      * @return true when drained, false when the limit cut the run.
      */
     bool runCore(Time limit, const std::function<bool()>* pred,
                  bool* pred_hit);
 
-    /** Execute one parallel phase across all islands and wait for it. */
-    void dispatch(Phase phase, Time limit);
+    /** Execute one round up to @p round_limit across all workers. */
+    void dispatchRound(Time init_done, Time round_limit);
 
-    /** The slice of islands owned by @p worker, for the current phase. */
-    void workerShare(unsigned worker);
+    /** One worker's participation in the current round. */
+    void workerRound(unsigned worker);
+
+    /** Advance island @p i as far as the channel clocks allow. */
+    Step stepIsland(unsigned worker, std::size_t i, Time round_limit);
+
+    /** Safe horizon of island @p i: min in-neighbor clock + lookahead. */
+    Time safeHorizon(const Island& is) const;
+
+    /** Earliest buffered inbound effect for island @p i (all agents). */
+    Time inboundEarliest(std::size_t i) const;
 
     void workerLoop(unsigned worker);
 
     /** Spawn the worker pool on first use (islands are final by then). */
     void startWorkers();
 
-    /** Earliest pending event over all islands (channels are empty). */
-    Time earliestEvent();
+    /** Rebuild every island's in-neighbor list from the edge matrix. */
+    void rebuildNeighbors();
+
+    /** Earliest pending work over all islands and channels (quiesced). */
+    Time earliestPending() const;
 
     /** Line every island clock up at @p t (t >= every island's now). */
     void syncClocks(Time t);
 
+    /** Sequential end-of-run flush: judge deferred checks at @p t. */
+    void quiesceFlush(Time t);
+
+    /** End of the grid window containing @p t (multiples of lookahead). */
+    Time gridEnd(Time t) const;
+
     Time lookahead_;
     unsigned jobs_;
-    std::vector<std::unique_ptr<EventQueue>> islands_;
+    ScheduleMode mode_;
+    unsigned windowsPerRound_ = 16;
+    std::deque<Island> islands_;
     std::vector<BarrierAgent*> agents_;
     Time now_;
     bool started_ = false;
 
-    /** @{ Stats. parcelsPerIsland_[i] is only written by i's owner. */
-    std::uint64_t barriers_ = 0;
-    std::uint64_t windows_ = 0;
-    std::vector<std::uint64_t> parcelsPerIsland_;
+    /** @{ Edge graph. Dense until the first declareEdge()/declareDense(). */
+    std::vector<std::vector<std::uint8_t>> edges_;  ///< [src][dst]
+    bool anyEdgeDeclared_ = false;
+    /** @} */
+
+    std::vector<std::size_t> logicalOf_;
+
+    /** @{ Stats (coordinator-written or per-island under claim). */
+    std::uint64_t rounds_ = 0;
+    std::atomic<std::uint64_t> steals_{0};
     /** @} */
 
     /**
-     * @{ Worker pool protocol. The coordinator writes phase_/phaseLimit_,
-     * publishes them with a release increment of epoch_, works its own
-     * share (it is worker 0), then waits for outstanding_ to hit zero.
-     * Workers spin on epoch_, run their share, and decrement.
+     * @{ Worker pool protocol. The coordinator resets the per-island
+     * round state, publishes the round with a release increment of
+     * epoch_, participates as worker 0, then waits for every worker to
+     * park (outstanding_ == 0). Workers wake on epoch_, execute islands
+     * until all islands report roundDone (doneCount_ == islandCount),
+     * then park. Claims give the cross-worker happens-before when an
+     * island migrates between workers.
      */
-    std::vector<std::thread> workers_;
+    std::deque<Worker> workers_;
     std::atomic<std::uint64_t> epoch_{0};
     std::atomic<unsigned> outstanding_{0};
-    Phase phase_ = Phase::RunWindow;
-    Time phaseLimit_;
+    std::atomic<std::size_t> doneCount_{0};
+    std::atomic<bool> exit_{false};
+    Time roundLimit_;
     /** @} */
 };
 

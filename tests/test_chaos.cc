@@ -969,12 +969,14 @@ struct MeshSoakResult
  * must be identical across worker counts.
  */
 MeshSoakResult
-runMeshSoak(std::uint64_t seed, unsigned jobs = 0)
+runMeshSoak(std::uint64_t seed, unsigned jobs = 0,
+            ScheduleMode mode = ScheduleMode::Stealing)
 {
     MeshSoakResult out;
     ClusterOptions options;
     options.sharded = jobs > 0;
     options.jobs = jobs > 0 ? jobs : 1;
+    options.scheduleMode = mode;
     Cluster cluster(rnic::DeviceProfile::connectX4(), 4, seed,
                     net::LinkConfig{}, options);
 
@@ -1126,14 +1128,22 @@ TEST(ChaosTopology, MeshSoakShardedIsJobInvariant)
     // Atomic semantics are schedule-independent: exactly-once FetchAdds.
     EXPECT_EQ(seq.counter, 500u + 8 * 2);
 
-    for (unsigned jobs : {2u, 4u, 8u}) {
-        const MeshSoakResult par = runMeshSoak(2026, jobs);
-        EXPECT_TRUE(par.drained) << "jobs=" << jobs;
-        EXPECT_EQ(par.hash, seq.hash) << "jobs=" << jobs;
-        EXPECT_EQ(par.violations, seq.violations)
-            << "jobs=" << jobs << "\n" << par.report;
-        EXPECT_EQ(par.flaps, seq.flaps) << "jobs=" << jobs;
-        EXPECT_EQ(par.counter, seq.counter) << "jobs=" << jobs;
+    for (const ScheduleMode mode :
+         {ScheduleMode::Static, ScheduleMode::Stealing}) {
+        for (unsigned jobs : {2u, 4u, 8u}) {
+            const char* name =
+                mode == ScheduleMode::Static ? "static" : "stealing";
+            const MeshSoakResult par = runMeshSoak(2026, jobs, mode);
+            EXPECT_TRUE(par.drained) << "jobs=" << jobs << " " << name;
+            EXPECT_EQ(par.hash, seq.hash) << "jobs=" << jobs << " "
+                                          << name;
+            EXPECT_EQ(par.violations, seq.violations)
+                << "jobs=" << jobs << " " << name << "\n" << par.report;
+            EXPECT_EQ(par.flaps, seq.flaps) << "jobs=" << jobs << " "
+                                            << name;
+            EXPECT_EQ(par.counter, seq.counter)
+                << "jobs=" << jobs << " " << name;
+        }
     }
 
     // A different seed is a genuinely different campaign.

@@ -14,12 +14,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "chaos/invariant_monitor.hh"
 #include "cluster/cluster.hh"
+#include "simcore/cross_channel.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
 #include "simcore/sharded_kernel.hh"
@@ -226,9 +228,10 @@ using IslandTrace = std::vector<std::pair<std::int64_t, int>>;
  * must be too.
  */
 std::vector<IslandTrace>
-runTwoIslandWorkload(unsigned jobs)
+runTwoIslandWorkload(unsigned jobs,
+                     ScheduleMode mode = ScheduleMode::Stealing)
 {
-    ShardedKernel kernel(Time::us(1), jobs);
+    ShardedKernel kernel(Time::us(1), jobs, mode);
     const std::size_t i0 = kernel.addIsland();
     const std::size_t i1 = kernel.addIsland();
     std::vector<IslandTrace> traces(2);
@@ -277,9 +280,87 @@ TEST(ShardedKernel, WindowedRunMatchesTimestampOrderPerIsland)
 TEST(ShardedKernel, TracesAreBitIdenticalAcrossWorkerCounts)
 {
     const auto reference = runTwoIslandWorkload(1);
-    // jobs is clamped to the island count, so 8 exercises the clamp.
-    EXPECT_EQ(runTwoIslandWorkload(2), reference);
-    EXPECT_EQ(runTwoIslandWorkload(8), reference);
+    // jobs is clamped to the island count, so 8 exercises the clamp;
+    // both schedule modes must produce the same content.
+    for (const ScheduleMode mode :
+         {ScheduleMode::Static, ScheduleMode::Stealing}) {
+        EXPECT_EQ(runTwoIslandWorkload(1, mode), reference);
+        EXPECT_EQ(runTwoIslandWorkload(2, mode), reference);
+        EXPECT_EQ(runTwoIslandWorkload(8, mode), reference);
+    }
+}
+
+TEST(ShardedKernel, SingleIslandTopologyDegeneratesToSequential)
+{
+    // One island: the channel clocks are a no-op (no in-neighbors, safe
+    // horizon = infinity) and any jobs count clamps to one worker.
+    ShardedKernel kernel(Time::us(1), 4);
+    kernel.addIsland();
+    std::vector<std::int64_t> fired;
+    for (const std::int64_t ns : {0L, 1L, 999L, 1000L, 7777L, 50000L}) {
+        kernel.island(0).schedule(Time::ns(ns), [&fired, ns] {
+            fired.push_back(ns);
+        });
+    }
+    EXPECT_TRUE(kernel.run());
+    EXPECT_EQ(kernel.jobs(), 1u);
+    EXPECT_EQ(fired,
+              (std::vector<std::int64_t>{0, 1, 999, 1000, 7777, 50000}));
+    EXPECT_EQ(kernel.kernelStats().channelParcels, 0u);
+}
+
+TEST(ShardedKernel, ZeroDelaySelfLinksNeedNoLookahead)
+{
+    // The lookahead bounds *cross-island* influence only: an island
+    // feeding events back to itself with zero delay (a self-link) is
+    // plain same-queue scheduling and must neither violate the window
+    // contract nor stall the other island.
+    for (const unsigned jobs : {1u, 2u}) {
+        ShardedKernel kernel(Time::us(1), jobs);
+        kernel.addIsland();
+        kernel.addIsland();
+        int chain = 0;
+        std::function<void()> self = [&] {
+            if (++chain < 100)
+                kernel.island(0).schedule(kernel.island(0).now(), [&] {
+                    self();
+                });
+        };
+        kernel.island(0).schedule(Time::ns(500), [&] { self(); });
+        bool other = false;
+        kernel.island(1).schedule(Time::ns(500), [&other] {
+            other = true;
+        });
+        EXPECT_TRUE(kernel.run());
+        EXPECT_EQ(chain, 100);
+        EXPECT_TRUE(other);
+    }
+}
+
+TEST(ShardedKernel, IslandWithoutInNeighborsNeverBlocks)
+{
+    // Declaring only 0 -> 1 leaves island 0 with no in-neighbors: its
+    // safe horizon is unbounded and it must run to its own limit even
+    // while island 1 (which must wait on 0's clock) has earlier work.
+    for (const unsigned jobs : {1u, 2u}) {
+        ShardedKernel kernel(Time::us(1), jobs);
+        kernel.addIsland();
+        kernel.addIsland();
+        kernel.declareEdge(0, 1);
+        EXPECT_TRUE(kernel.hasEdge(0, 1));
+        EXPECT_FALSE(kernel.hasEdge(1, 0));
+        std::uint64_t ran0 = 0, ran1 = 0;
+        for (int i = 0; i < 64; ++i) {
+            kernel.island(0).schedule(Time::us(100 + i),
+                                      [&ran0] { ++ran0; });
+            kernel.island(1).schedule(Time::ns(10 * i),
+                                      [&ran1] { ++ran1; });
+        }
+        EXPECT_TRUE(kernel.run());
+        EXPECT_EQ(ran0, 64u);
+        EXPECT_EQ(ran1, 64u);
+        EXPECT_EQ(kernel.pending(), 0u);
+    }
 }
 
 TEST(ShardedKernel, AdvanceLeavesEveryIslandClockAtTarget)
@@ -314,9 +395,10 @@ TEST(ShardedKernel, RunUntilChecksPredicateAtBarriers)
 
     EXPECT_TRUE(kernel.runUntil([&count] { return count >= 5; },
                                 Time::ms(1)));
-    // The predicate is only polled at window barriers, so a handful of
-    // extra events in the same window may run — but never the whole
-    // backlog, and never events past the satisfied barrier.
+    // The predicate is only polled at round boundaries (every
+    // windowsPerRound() grid windows), so extra events inside the round
+    // may run — but never the whole backlog, and never events past the
+    // satisfied round.
     EXPECT_GE(count, 5);
     EXPECT_LT(count, 20);
     // An exhausted limit reports false without touching future windows.
@@ -330,53 +412,77 @@ TEST(ShardedKernel, RunUntilChecksPredicateAtBarriers)
 namespace {
 
 /**
- * A minimal cross-island channel exercising the BarrierAgent protocol
- * the way net::Fabric does: the source island appends to its own
- * outbound row during the run phase; the destination island drains its
- * column at the flush barrier. Arrivals are stamped send-time +
- * lookahead, so the flush never schedules into a window already run.
+ * A minimal cross-island mailbox exercising the BarrierAgent protocol
+ * the way net::Fabric does: the source island pushes into per-(src, dst)
+ * CrossChannels keyed by the message's effect time (send + lookahead);
+ * the destination drains everything its window horizon covers before
+ * running the window. Producer and consumer islands run concurrently
+ * under the pairwise channel clocks, which is exactly what CrossChannel
+ * plus the clocks' release/acquire protocol make safe.
  */
 struct MailboxAgent : ShardedKernel::BarrierAgent
 {
+    using Msg = std::pair<Time, int>;
+    using Channel = CrossChannel<Msg>;
+
     explicit MailboxAgent(ShardedKernel& kernel)
-        : kernel_(kernel),
-          out_(kernel.islandCount(),
-               std::vector<std::vector<std::pair<Time, int>>>(
-                   kernel.islandCount())),
-          received_(kernel.islandCount())
+        : kernel_(kernel), received_(kernel.islandCount())
     {
+        for (std::size_t i = 0; i < kernel.islandCount(); ++i) {
+            auto& row = out_.emplace_back();
+            for (std::size_t j = 0; j < kernel.islandCount(); ++j)
+                row.emplace_back();
+        }
         kernel.addBarrierAgent(this);
     }
 
     void
     post(std::size_t from, std::size_t to, int tag)
     {
-        out_[from][to].emplace_back(
-            kernel_.island(from).now() + kernel_.lookahead(), tag);
+        const Time at = kernel_.island(from).now() + kernel_.lookahead();
+        out_[from][to].push(at.toNs(), {at, tag});
     }
 
     std::uint64_t
-    flushInbound(std::size_t island) override
+    flushInbound(std::size_t island, Time /*now*/, Time horizon) override
     {
-        std::uint64_t n = 0;
+        std::vector<Msg> batch;
         for (auto& row : out_) {
-            for (auto& [at, tag] : row[island]) {
-                ++n;
-                auto& sink = received_[island];
-                kernel_.island(island).schedule(
-                    at, [&sink, island, tag, this] {
-                        sink.emplace_back(
-                            kernel_.island(island).now().toNs(), tag);
-                    });
-            }
-            row[island].clear();
+            row[island].drainUpTo(
+                horizon.toNs(),
+                [](const Msg& m) { return m.first.toNs(); }, batch);
         }
-        return n;
+        for (auto& [at, tag] : batch) {
+            auto& sink = received_[island];
+            kernel_.island(island).schedule(at, [&sink, island, tag, this] {
+                sink.emplace_back(kernel_.island(island).now().toNs(), tag);
+            });
+        }
+        return batch.size();
+    }
+
+    Time
+    inboundEarliest(std::size_t island) override
+    {
+        std::int64_t earliest = Channel::kEmpty;
+        for (auto& row : out_)
+            earliest = std::min(earliest, row[island].minKey());
+        return earliest == Channel::kEmpty ? Time::max()
+                                           : Time::fromNs(earliest);
+    }
+
+    std::size_t
+    inboundPending(std::size_t island) override
+    {
+        std::size_t total = 0;
+        for (auto& row : out_)
+            total += row[island].size();
+        return total;
     }
 
     ShardedKernel& kernel_;
-    /** out_[src][dst]: written only by src's worker, drained at barriers. */
-    std::vector<std::vector<std::vector<std::pair<Time, int>>>> out_;
+    /** out_[src][dst]; deques because CrossChannel must never move. */
+    std::deque<std::deque<Channel>> out_;
     std::vector<IslandTrace> received_;
 };
 
@@ -444,7 +550,8 @@ struct FloodOutcome
 
 /** jobs == 0: single-queue kernel; jobs >= 1: island mode. */
 FloodOutcome
-runMiniFlood(unsigned jobs, std::uint64_t seed)
+runMiniFlood(unsigned jobs, std::uint64_t seed,
+             ScheduleMode mode = ScheduleMode::Stealing)
 {
     constexpr std::size_t pairs = 4;
     constexpr std::size_t qpsPerPair = 16;
@@ -454,6 +561,7 @@ runMiniFlood(unsigned jobs, std::uint64_t seed)
     ClusterOptions options;
     options.sharded = jobs > 0;
     options.jobs = jobs > 0 ? jobs : 1;
+    options.scheduleMode = mode;
     Cluster cluster(rnic::DeviceProfile::connectX4(), 2 * pairs, seed,
                     net::LinkConfig{}, options);
     chaos::InvariantMonitor monitor(cluster.fabric());
@@ -528,17 +636,151 @@ TEST(ShardedKernel, FloodIsBitIdenticalAcrossWorkerCounts)
     EXPECT_EQ(seq.completions, 4u * 16u * 4u);
     EXPECT_GT(seq.sent, 0u);
 
-    for (const unsigned jobs : {2u, 4u, 8u}) {
-        const FloodOutcome par = runMiniFlood(jobs, 404);
-        EXPECT_TRUE(par == seq)
-            << "jobs=" << jobs << ": hash " << std::hex << par.traceHash
-            << " vs " << seq.traceHash << std::dec << ", sent "
-            << par.sent << " vs " << seq.sent << ", completions "
-            << par.completions << " vs " << seq.completions;
+    for (const ScheduleMode mode :
+         {ScheduleMode::Static, ScheduleMode::Stealing}) {
+        for (const unsigned jobs : {2u, 4u, 8u}) {
+            const FloodOutcome par = runMiniFlood(jobs, 404, mode);
+            EXPECT_TRUE(par == seq)
+                << "jobs=" << jobs << " mode="
+                << (mode == ScheduleMode::Static ? "static" : "stealing")
+                << ": hash " << std::hex << par.traceHash << " vs "
+                << seq.traceHash << std::dec << ", sent " << par.sent
+                << " vs " << seq.sent << ", completions "
+                << par.completions << " vs " << seq.completions;
+        }
     }
 
     // A different seed is a genuinely different run.
     EXPECT_NE(runMiniFlood(1, 405).traceHash, seq.traceHash);
+}
+
+namespace {
+
+/**
+ * A hot client machine split into planes (addNodePlanes) serving its QP
+ * groups from per-plane islands, talking to one server per plane.
+ * jobs == 0 runs the identical node/LID topology on the single queue.
+ */
+FloodOutcome
+runPlaneSplitFlood(unsigned jobs, std::uint64_t seed,
+                   ScheduleMode mode = ScheduleMode::Stealing)
+{
+    constexpr unsigned planeCount = 4;
+    constexpr std::size_t qpsPerPlane = 8;
+    constexpr std::size_t opsPerQp = 4;
+    constexpr std::uint64_t bytesPerQp = 1024;
+
+    ClusterOptions options;
+    options.sharded = jobs > 0;
+    options.jobs = jobs > 0 ? jobs : 1;
+    options.scheduleMode = mode;
+    Cluster cluster(rnic::DeviceProfile::connectX4(), 0, seed,
+                    net::LinkConfig{}, options);
+    const auto planes = cluster.addNodePlanes(
+        rnic::DeviceProfile::connectX4(), planeCount);
+    std::vector<Node*> servers;
+    for (unsigned p = 0; p < planeCount; ++p)
+        servers.push_back(&cluster.addNode());
+    chaos::InvariantMonitor monitor(cluster.fabric());
+
+    std::vector<verbs::QueuePair> flows;
+    std::vector<verbs::CompletionQueue*> cqs;
+    struct Region
+    {
+        std::uint64_t src, dst;
+        std::uint32_t lkey, rkey;
+    };
+    std::vector<Region> regions;
+    for (unsigned p = 0; p < planeCount; ++p) {
+        Node& client = *planes[p];
+        Node& server = *servers[p];
+        auto& ccq = client.createCq();
+        auto& scq = server.createCq();
+        cqs.push_back(&ccq);
+        const std::uint64_t bytes = qpsPerPlane * bytesPerQp;
+        const std::uint64_t src = server.alloc(bytes);
+        const std::uint64_t dst = client.alloc(bytes);
+        auto& smr = server.registerMemory(src, bytes,
+                                          verbs::AccessFlags::pinned());
+        auto& cmr = client.registerMemory(dst, bytes,
+                                          verbs::AccessFlags::pinned());
+        regions.push_back({src, dst, cmr.lkey(), smr.rkey()});
+        for (std::size_t q = 0; q < qpsPerPlane; ++q) {
+            auto [cqp, sqp] = cluster.connectRc(client, ccq, server, scq);
+            flows.push_back(cqp);
+        }
+    }
+    monitor.watchAll(cluster);
+
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        const Region& r = regions[i / qpsPerPlane];
+        const std::uint64_t base = (i % qpsPerPlane) * bytesPerQp;
+        for (std::size_t op = 0; op < opsPerQp; ++op)
+            flows[i].postRead(r.dst + base + op * 128, r.lkey,
+                              r.src + base + op * 128, r.rkey, 100,
+                              op + 1);
+    }
+    const auto completions = [&cqs] {
+        std::uint64_t done = 0;
+        for (auto* cq : cqs)
+            done += cq->totalCompletions();
+        return done;
+    };
+    const std::uint64_t expected = flows.size() * opsPerQp;
+
+    FloodOutcome out;
+    out.completed = cluster.runUntil(
+        [&] { return completions() >= expected; }, Time::sec(600));
+    cluster.advance(Time::ms(1));
+    monitor.finalCheck();
+
+    if (jobs > 0) {
+        // KernelStats folds the planes into one logical island: one
+        // entry for the split client machine plus one per server, and
+        // no events lost in the attribution.
+        const auto ks = cluster.shardedKernel()->kernelStats();
+        EXPECT_EQ(ks.executedPerIsland.size(), 1u + planeCount);
+        std::uint64_t sum = 0;
+        for (const std::uint64_t executed : ks.executedPerIsland)
+            sum += executed;
+        EXPECT_EQ(sum, cluster.shardedKernel()->executed());
+        EXPECT_GT(ks.executedPerIsland.front(), 0u);
+    }
+
+    out.traceHash = monitor.traceHash();
+    out.sent = cluster.fabric().totalSent();
+    out.delivered = cluster.fabric().totalDelivered();
+    out.dropped = cluster.fabric().totalDropped();
+    out.completions = completions();
+    out.violations = monitor.violationCount();
+    return out;
+}
+
+} // namespace
+
+TEST(ShardedKernel, PlaneSplitFloodIsBitIdenticalAcrossSchedules)
+{
+    const FloodOutcome seq = runPlaneSplitFlood(1, 909);
+    EXPECT_TRUE(seq.completed);
+    EXPECT_EQ(seq.violations, 0u);
+    EXPECT_EQ(seq.completions, 4u * 8u * 4u);
+
+    for (const ScheduleMode mode :
+         {ScheduleMode::Static, ScheduleMode::Stealing}) {
+        for (const unsigned jobs : {2u, 4u}) {
+            const FloodOutcome par = runPlaneSplitFlood(jobs, 909, mode);
+            EXPECT_TRUE(par == seq)
+                << "jobs=" << jobs << " mode="
+                << (mode == ScheduleMode::Static ? "static" : "stealing");
+        }
+    }
+
+    // Identical node/LID topology on the single-queue kernel: the
+    // workload outcome (not the schedule) is mode-invariant.
+    const FloodOutcome single = runPlaneSplitFlood(0, 909);
+    EXPECT_TRUE(single.completed);
+    EXPECT_EQ(single.completions, seq.completions);
+    EXPECT_EQ(single.violations, 0u);
 }
 
 TEST(ShardedKernel, FloodAgreesWithSingleQueueKernelOnVerdicts)

@@ -24,12 +24,17 @@ intentional (they become baselines once the trend file is refreshed).
 Rows swept over a `jobs` param additionally get a derived
 `speedup_vs_seq` report: each jobs != 1 cell's wall-clock mean compared
 against the jobs = 1 cell sharing the bench and every other param —
-the sequential-reference speedup of the sharded kernel. Derived, never
-gated.
+the sequential-reference speedup of the sharded kernel. Any derived
+speedup below 1.0 means adding workers made the simulation SLOWER than
+the inline jobs = 1 reference; such rows are flagged as WARN lines and
+the check exits nonzero. Pass --allow-slowdown when that is expected
+(e.g. a single-hardware-thread machine, where every jobs > 1 run only
+adds synchronization cost).
 
 Usage:
     tools/check_bench_regression.py --baseline BENCH_simcore.json \
-        --fresh fresh.jsonl [--threshold 1.25] [--allow-new]
+        --fresh fresh.jsonl [--threshold 1.25] [--allow-new] \
+        [--allow-slowdown]
 """
 
 import argparse
@@ -136,6 +141,10 @@ def main():
     parser.add_argument("--allow-new", action="store_true",
                         help="fresh cells missing from the baseline are "
                              "expected; list them but do not fail")
+    parser.add_argument("--allow-slowdown", action="store_true",
+                        help="derived speedup_vs_seq below 1.0 is "
+                             "expected (e.g. single-core machines); "
+                             "list such rows but do not fail")
     args = parser.parse_args()
 
     baseline = latest_by_key(load_rows(args.baseline))
@@ -191,13 +200,22 @@ def main():
                   f"{fresh_mean:>10.1f} {ratio:>6.2f}x")
 
     speedups = speedup_rows(fresh)
+    slowdowns = []
     if speedups:
         print()
-        print("speedup_vs_seq (derived from jobs=1 reference cells, "
-              "not gated):")
+        print("speedup_vs_seq (derived from jobs=1 reference cells; "
+              "rows below 1.0 fail\nunless --allow-slowdown):")
         for name, metric, jobs, speedup in speedups:
             print(f"  {name:<52} {metric:<14} jobs={jobs:<4} "
                   f"{speedup:>6.2f}x")
+            if speedup < 1.0:
+                slowdowns.append((name, metric, jobs, speedup))
+
+    if slowdowns:
+        print()
+        for name, metric, jobs, speedup in slowdowns:
+            print(f"WARN: {name} jobs={jobs} is SLOWER than the jobs=1 "
+                  f"reference ({metric} speedup {speedup:.2f}x)")
 
     if unmatched:
         print()
@@ -210,6 +228,12 @@ def main():
         print(f"FAIL: {len(unmatched)} fresh cell(s) have no baseline "
               f"row; append baselines to the committed file or pass "
               f"--allow-new if intentional")
+        status = 1
+    if slowdowns and not args.allow_slowdown:
+        print(f"FAIL: {len(slowdowns)} jobs>1 cell(s) run slower than "
+              f"their jobs=1 reference; the parallel kernel must not "
+              f"lose to its own sequential mode — pass --allow-slowdown "
+              f"if this machine cannot show a speedup (e.g. one core)")
         status = 1
     if not regressions:
         print("OK: no bench regressed beyond the threshold")
