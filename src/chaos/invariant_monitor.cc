@@ -569,10 +569,11 @@ InvariantMonitor::flushInbound(std::size_t island, Time now, Time horizon)
     const std::int64_t threshold = now == horizon
                                        ? (now + lookahead).toNs()
                                        : horizon.toNs();
-    for (Shard& src : shards_) {
-        if (&src == &dst)
-            continue;
-        src.out[island].drainUpTo(
+    // Cross records travel the same declared routes as the packets they
+    // shadow, so only in-neighbor shards can hold work for this island.
+    for (std::uint32_t src_index :
+         fabric_.shardedKernel()->inNeighbors(island)) {
+        shards_[src_index].out[island].drainUpTo(
             threshold,
             [lookahead](const CrossRecord& r) {
                 return (r.at + lookahead).toNs();

@@ -381,10 +381,11 @@ Fabric::flushInbound(std::size_t island, Time /*now*/, Time horizon)
     in.clear();
     const std::int64_t threshold = horizon.toNs();
     const Time overhead = config_.perPacketOverhead;
-    for (Lane& src : lanes_) {
-        if (&src == &dst)
-            continue;
-        src.out[island].drainUpTo(
+    // Only in-neighbor lanes can hold parcels for this island (cross-
+    // island sends along undeclared routes assert in deliverSharded), so
+    // the scan skips the rest of the mesh.
+    for (std::uint32_t src_index : kernel_->inNeighbors(island)) {
+        lanes_[src_index].out[island].drainUpTo(
             threshold,
             [overhead](const Parcel& p) {
                 return (p.arrive0 + overhead).toNs();
@@ -413,9 +414,13 @@ Fabric::flushInbound(std::size_t island, Time /*now*/, Time horizon)
 Time
 Fabric::inboundEarliest(std::size_t island)
 {
+    // Probed on every island step: restrict to in-neighbor lanes (the
+    // only ones that can feed this island) — on a sparse mesh this turns
+    // an all-islands sweep into a handful of atomic loads.
     std::int64_t earliest = CrossChannel<Parcel>::kEmpty;
-    for (Lane& src : lanes_)
-        earliest = std::min(earliest, src.out[island].minKey());
+    for (std::uint32_t src_index : kernel_->inNeighbors(island))
+        earliest = std::min(earliest,
+                            lanes_[src_index].out[island].minKey());
     return earliest == CrossChannel<Parcel>::kEmpty ? Time::max()
                                                     : Time::fromNs(earliest);
 }

@@ -49,16 +49,27 @@ ShardedKernel::addIsland()
 }
 
 void
+ShardedKernel::growEdges()
+{
+    // Islands and edges are declared interleaved (the cluster layer adds
+    // a node pair, connects its QPs, adds the next pair, ...), so the
+    // matrix must grow *preserving* everything declared so far.
+    const std::size_t n = islands_.size();
+    if (edges_.size() == n)
+        return;
+    for (auto& row : edges_)
+        row.resize(n, 0);
+    edges_.resize(n, std::vector<std::uint8_t>(n, 0));
+}
+
+void
 ShardedKernel::declareEdge(std::size_t src, std::size_t dst)
 {
     if (src == dst)
         return;  // same-island influence is inline, no clock involved
     anyEdgeDeclared_ = true;
-    const std::size_t n = islands_.size();
-    if (edges_.size() != n) {
-        edges_.assign(n, std::vector<std::uint8_t>(n, 0));
-    }
-    assert(src < n && dst < n);
+    growEdges();
+    assert(src < islands_.size() && dst < islands_.size());
     if (edges_[src][dst])
         return;
     edges_[src][dst] = 1;
@@ -69,10 +80,24 @@ ShardedKernel::declareEdge(std::size_t src, std::size_t dst)
 void
 ShardedKernel::declareDense(std::size_t island)
 {
-    for (std::size_t j = 0; j < islands_.size(); ++j) {
-        declareEdge(island, j);
-        declareEdge(j, island);
-    }
+    // A flag, not materialized edges: a dense island must stay connected
+    // to islands added *after* this call too (a UD QP can name any
+    // destination, including a node created later).
+    assert(island < islands_.size());
+    anyEdgeDeclared_ = true;
+    if (dense_.size() <= island)
+        dense_.resize(island + 1, 0);
+    if (dense_[island])
+        return;
+    dense_[island] = 1;
+    if (started_)
+        rebuildNeighbors();  // only legal while quiesced (between runs)
+}
+
+bool
+ShardedKernel::isDense(std::size_t island) const
+{
+    return island < dense_.size() && dense_[island] != 0;
 }
 
 bool
@@ -82,8 +107,10 @@ ShardedKernel::hasEdge(std::size_t src, std::size_t dst) const
         return true;
     if (!anyEdgeDeclared_)
         return true;  // undeclared graph = conservative dense default
-    if (edges_.size() != islands_.size())
-        return false;
+    if (isDense(src) || isDense(dst))
+        return true;
+    if (src >= edges_.size() || dst >= edges_.size())
+        return false;  // islands added after the last declared edge
     return edges_[src][dst] != 0;
 }
 
@@ -305,10 +332,10 @@ ShardedKernel::workerRound(unsigned worker)
                 if (step != Step::Blocked) {
                     busy += elapsedNs(t0, clock::now());
                     progress = true;
-                    if (is.lastWorker != 0xff &&
-                        is.lastWorker != static_cast<std::uint8_t>(worker))
+                    if (is.lastWorker != kNoWorker &&
+                        is.lastWorker != worker)
                         steals_.fetch_add(1, std::memory_order_relaxed);
-                    is.lastWorker = static_cast<std::uint8_t>(worker);
+                    is.lastWorker = worker;
                 }
                 is.claim.store(0, std::memory_order_release);
             } else {
@@ -449,8 +476,16 @@ ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
             roundStart.toNs() +
             l * static_cast<std::int64_t>(windowsPerRound_));
         const Time roundLimit = std::min(roundEnd - Time::ns(1), limit);
-        const Time initDone =
-            std::max(roundStart - Time::ns(1), now_);
+        Time initDone = std::max(roundStart - Time::ns(1), now_);
+        if (initDone >= roundLimit) {
+            // Degenerate round: the limit equals the synchronized clock
+            // (e.g. the first run(Time(0)) with an event at t = 0).
+            // Starting the clocks *below* the limit makes the window
+            // containing it execute — mirroring EventQueue::run()'s
+            // events-at-limit-run semantics — instead of every island
+            // reporting roundDone untouched and the loop spinning.
+            initDone = roundLimit - Time::ns(1);
+        }
         dispatchRound(initDone, roundLimit);
         ++rounds_;
         syncClocks(roundLimit);

@@ -153,8 +153,9 @@ class ShardedKernel
      *
      * declareEdge(src, dst) records that src can influence dst (packets,
      * deferred checks); dst then blocks on src's clock. declareDense(i)
-     * connects i to every island both ways — the sound fallback for
-     * islands whose destinations are not known up front (UD). While no
+     * connects i to every island both ways — including islands added
+     * *after* the call — the sound fallback for islands whose
+     * destinations are not known up front (UD). While no
      * edge has ever been declared the kernel assumes a dense graph, so a
      * raw kernel user who never declares edges gets conservative (and
      * correct) all-pairs synchronization. Edges are normally declared at
@@ -163,6 +164,19 @@ class ShardedKernel
     void declareEdge(std::size_t src, std::size_t dst);
     void declareDense(std::size_t island);
     bool hasEdge(std::size_t src, std::size_t dst) const;
+
+    /**
+     * In-neighbor islands of @p i — the only islands whose channels can
+     * hold work for i, so agents may restrict their per-window channel
+     * scans to this list instead of probing every island. Rebuilt when
+     * the kernel starts and on quiesced edge declarations; empty before
+     * the first run.
+     */
+    const std::vector<std::uint32_t>&
+    inNeighbors(std::size_t i) const
+    {
+        return islands_[i].inNbr;
+    }
     /** @} */
 
     /** @{ Logical islands. Splitting a hot node over several islands
@@ -234,6 +248,9 @@ class ShardedKernel
     /** Outcome of one attempt to advance an island inside a round. */
     enum class Step : std::uint8_t { Advanced, Blocked, RoundDone };
 
+    /** "No worker has executed this island yet" (steal detection). */
+    static constexpr std::uint32_t kNoWorker = 0xffffffffu;
+
     /** Per-island execution state. done is the published channel clock. */
     struct alignas(64) Island
     {
@@ -241,7 +258,7 @@ class ShardedKernel
         std::atomic<std::int64_t> done{0};
         std::atomic<std::uint8_t> claim{0};
         std::atomic<bool> roundDone{false};
-        std::uint8_t lastWorker = 0xff;  ///< steal detection (under claim)
+        std::uint32_t lastWorker = kNoWorker;  ///< steal detection (under claim)
         std::vector<std::uint32_t> inNbr;  ///< in-neighbor island indices
         std::uint64_t windows = 0;       ///< windows executed (under claim)
         std::uint64_t parcels = 0;       ///< items flushed (under claim)
@@ -286,6 +303,12 @@ class ShardedKernel
     /** Rebuild every island's in-neighbor list from the edge matrix. */
     void rebuildNeighbors();
 
+    /** Grow the edge matrix to the island count, preserving entries. */
+    void growEdges();
+
+    /** Whether @p island was declared dense (edges to every island). */
+    bool isDense(std::size_t island) const;
+
     /** Earliest pending work over all islands and channels (quiesced). */
     Time earliestPending() const;
 
@@ -309,6 +332,7 @@ class ShardedKernel
 
     /** @{ Edge graph. Dense until the first declareEdge()/declareDense(). */
     std::vector<std::vector<std::uint8_t>> edges_;  ///< [src][dst]
+    std::vector<std::uint8_t> dense_;  ///< islands with all-pairs edges
     bool anyEdgeDeclared_ = false;
     /** @} */
 

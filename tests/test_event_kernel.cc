@@ -363,6 +363,69 @@ TEST(ShardedKernel, IslandWithoutInNeighborsNeverBlocks)
     }
 }
 
+TEST(ShardedKernel, EdgeDeclarationsSurviveInterleavedIslandGrowth)
+{
+    // The cluster layer interleaves island creation with edge
+    // declarations (add a node pair, connect its QPs, add the next
+    // pair, ...). Growing the edge matrix must preserve everything
+    // declared before the growth — wiping it would leave earlier
+    // destination islands with no in-neighbors, letting them run ahead
+    // of their producers (a causality violation, not just a test fail).
+    ShardedKernel kernel(Time::us(1), 2);
+    kernel.addIsland();
+    kernel.addIsland();
+    kernel.declareEdge(0, 1);
+    kernel.declareEdge(1, 0);
+    kernel.addIsland();
+    kernel.addIsland();
+    kernel.declareEdge(2, 3);
+    kernel.declareEdge(3, 2);
+    EXPECT_TRUE(kernel.hasEdge(0, 1));
+    EXPECT_TRUE(kernel.hasEdge(1, 0));
+    EXPECT_TRUE(kernel.hasEdge(2, 3));
+    EXPECT_TRUE(kernel.hasEdge(3, 2));
+    EXPECT_FALSE(kernel.hasEdge(0, 2));
+    EXPECT_FALSE(kernel.hasEdge(3, 1));
+}
+
+TEST(ShardedKernel, DenseIslandCoversIslandsAddedLater)
+{
+    // A dense island (UD: destinations named per work request) must stay
+    // connected to islands created after the declaration too — a UD QP
+    // can address a node that did not exist when the QP was made.
+    ShardedKernel kernel(Time::us(1), 1);
+    kernel.addIsland();
+    kernel.addIsland();
+    kernel.declareDense(0);
+    kernel.addIsland();
+    EXPECT_TRUE(kernel.hasEdge(0, 2));
+    EXPECT_TRUE(kernel.hasEdge(2, 0));
+    EXPECT_TRUE(kernel.hasEdge(0, 1));
+    EXPECT_FALSE(kernel.hasEdge(1, 2));  // neither is dense, no edge
+}
+
+TEST(ShardedKernel, RunWithLimitAtPendingEventExecutesIt)
+{
+    // limit == the earliest pending event is a degenerate round (the
+    // round limit equals the synchronized clock). The window holding the
+    // event must still execute — EventQueue::run()'s events-at-limit-run
+    // semantics — rather than every island reporting an empty round done
+    // and the kernel spinning forever.
+    ShardedKernel kernel(Time::us(1), 1);
+    kernel.addIsland();
+    bool fired = false;
+    kernel.island(0).schedule(Time(), [&fired] { fired = true; });
+    EXPECT_TRUE(kernel.run(Time()));
+    EXPECT_TRUE(fired);
+
+    // Same shape mid-run: the clocks already sit exactly at the limit.
+    kernel.run(Time::us(3));
+    bool again = false;
+    kernel.island(0).schedule(Time::us(3), [&again] { again = true; });
+    EXPECT_TRUE(kernel.run(Time::us(3)));
+    EXPECT_TRUE(again);
+}
+
 TEST(ShardedKernel, AdvanceLeavesEveryIslandClockAtTarget)
 {
     ShardedKernel kernel(Time::us(5), 2);
