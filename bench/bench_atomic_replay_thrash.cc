@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Atomic replay-cache thrash: duplication storms vs. the responder's
+ * atomic response resources, swept Table-I style across the paper's
+ * devices.
+ *
+ * The IBA contract behind DeviceProfile::atomicReplayDepth: a responder
+ * retains the last N atomic results so a retransmitted request is
+ * answered from the cache instead of re-executed, and a requester keeps
+ * its atomic window at or below N so the record is always still there.
+ * This bench prices that contract. Each cell runs a fetch-add stream
+ * against one Table-I device with the replay cache at depth 1 vs 128 —
+ * the requester window clamped to the advertised depth — under a
+ * duplication storm (30% of packets cloned, delayed clones, a few
+ * percent real drops to force genuine timeout retransmissions). Depth 1
+ * serializes the stream on top of the vendor's timeout floor; depth 128
+ * pipelines it. The invariant oracle (A1/A2 exactly-once families)
+ * rides along, and the final counter value is checked against the
+ * number of adds: count_drift and violations must both be 0 in every
+ * cell — re-execution of a duplicate atomic is a transport bug, not a
+ * measurement.
+ */
+
+#include "suite.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.hh"
+#include "chaos/invariant_monitor.hh"
+#include "cluster/cluster.hh"
+#include "rnic/device_profile.hh"
+
+using namespace ibsim;
+
+namespace ibsim {
+namespace bench {
+
+namespace {
+
+constexpr std::size_t addsPerTrial = 240;
+constexpr std::uint64_t landBytes = 16 * 1024;
+
+exp::Metrics
+runThrash(const rnic::DeviceProfile& device, std::size_t depth,
+          std::uint64_t seed)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    auto profile = device;
+    profile.atomicReplayDepth = depth;
+    Cluster cluster(profile, 2, seed);
+    Node& a = cluster.node(0);
+    Node& b = cluster.node(1);
+    auto& acq = a.createCq();
+    auto& bcq = b.createCq();
+    auto [aqp, bqp] = cluster.connectRc(a, acq, b, bcq);
+
+    const auto land = a.alloc(landBytes);
+    const auto counter = b.alloc(4096);
+    a.touch(land, landBytes);
+    b.touch(counter, 4096);
+    auto& amr =
+        a.registerMemory(land, landBytes, verbs::AccessFlags::pinned());
+    auto& bmr =
+        b.registerMemory(counter, 4096, verbs::AccessFlags::pinned());
+
+    // The storm: clone nearly a third of all packets, float the clones
+    // for up to 50us so they land as stale out-of-window replays, and
+    // drop a few percent outright so the requester's own timeout path
+    // produces genuine retransmissions that MUST be served from the
+    // cache (the drop pays the vendor's detection-time floor, which is
+    // what spreads the Table-I rows apart).
+    chaos::ChaosConfig cfg;
+    cfg.seed = seed;
+    cfg.dupRate = 0.3;
+    cfg.delayRate = 0.2;
+    cfg.delayMax = Time::us(50);
+    cfg.dropRate = 0.02;
+    chaos::ChaosEngine engine(cluster.events(), cfg);
+    engine.install(cluster.fabric());
+
+    chaos::InvariantMonitor monitor(cluster.fabric());
+    monitor.watch(a.rnic(), aqp.context());
+    monitor.watch(b.rnic(), bqp.context());
+
+    // The requester side of the IBA contract: never more atomics in
+    // flight than the responder retains results for. Depth 1 is a
+    // one-at-a-time stream; deeper caches allow a pipelined window.
+    const std::size_t window = std::min<std::size_t>(depth, 16);
+    const Time start = cluster.now();
+    std::size_t posted = 0;
+    bool completed = true;
+    while (acq.totalCompletions() < addsPerTrial) {
+        while (posted < addsPerTrial &&
+               posted - acq.totalCompletions() < window) {
+            aqp.postFetchAdd(land + (posted % 1024) * 8, amr.lkey(),
+                             counter, bmr.rkey(), /*add=*/1,
+                             posted + 1);
+            ++posted;
+        }
+        const auto target = acq.totalCompletions() + 1;
+        if (!cluster.runUntil(
+                [&] { return acq.totalCompletions() >= target; },
+                cluster.now() + Time::sec(600))) {
+            completed = false;
+            break;
+        }
+    }
+    cluster.advance(Time::ms(2));
+    monitor.finalCheck();
+
+    // Exactly-once, checked against host memory: every duplicate the
+    // storm injected must have been answered from the replay cache, so
+    // the counter holds exactly one increment per posted add.
+    const auto bytes = b.memory().read(counter, 8);
+    std::uint64_t finalValue = 0;
+    std::memcpy(&finalValue, bytes.data(), 8);
+    const double drift =
+        static_cast<double>(finalValue) - static_cast<double>(posted);
+
+    const double wallNs =
+        static_cast<double>(std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() -
+                                wallStart)
+                                .count());
+    return exp::Metrics{}
+        .set("total_s", (cluster.now() - start).toSec())
+        .set("ns_per_packet",
+             wallNs / static_cast<double>(
+                          std::max<std::uint64_t>(
+                              1, monitor.packetsObserved())))
+        .set("completed", completed)
+        .set("count_drift", drift)
+        .set("violations",
+             static_cast<double>(monitor.violationCount()))
+        .set("retransmissions",
+             static_cast<double>(aqp.stats().retransmissions))
+        .set("injected",
+             static_cast<double>(cluster.fabric().totalInjected()))
+        .set("dropped",
+             static_cast<double>(cluster.fabric().totalDropped()));
+}
+
+} // namespace
+
+void
+registerAtomicReplayThrash(exp::Registry& registry)
+{
+    registry.add(
+        {"atomic_replay_thrash",
+         "atomic replay-cache thrash: dup storms at depth 1 vs 128 per "
+         "device",
+         [](const exp::RunContext& ctx) {
+             const std::size_t trials = ctx.trials(3, 2);
+             const auto systems = rnic::DeviceProfile::table1();
+
+             std::vector<std::string> names;
+             for (const auto& p : systems)
+                 names.push_back(p.systemName);
+
+             exp::Sweep sweep;
+             sweep.axis("system", names);
+             sweep.axis("replay_depth", std::vector<double>{1, 128}, 0);
+
+             auto result = ctx.runner("atomic_replay_thrash")
+                               .run(sweep, trials,
+                                    [&](const exp::Cell& cell,
+                                        std::uint64_t seed) {
+                                        return runThrash(
+                                            systems[cell.valueIndex(
+                                                "system")],
+                                            static_cast<std::size_t>(
+                                                cell.num(
+                                                    "replay_depth")),
+                                            seed);
+                                    });
+
+             auto sink = ctx.sink("atomic_replay_thrash");
+             auto columns = std::vector<exp::MetricColumn>{
+                 exp::col("total_s", exp::Stat::Mean, 4, "total_s"),
+                 exp::col("ns_per_packet", exp::Stat::Mean, 1, "ns/pkt"),
+                 exp::col("retransmissions", exp::Stat::Mean, 1,
+                          "rexmits"),
+                 exp::col("injected", exp::Stat::Mean, 1, "injected"),
+                 exp::col("dropped", exp::Stat::Mean, 1, "dropped"),
+                 exp::col("completed", exp::Stat::PctMean, 0,
+                          "completed%"),
+                 exp::col("count_drift", exp::Stat::Sum, 0, "drift"),
+                 exp::col("violations", exp::Stat::Sum, 0,
+                          "violations")};
+             sink.table(
+                 "Atomic replay-cache thrash: 240 fetch-adds under a "
+                 "duplication storm,\n   window clamped to the "
+                 "advertised depth (drift and violations must be 0)",
+                 result, columns);
+             sink.note(
+                 "Depth 1 serializes the atomic stream (one in flight) "
+                 "and every dropped\nresponse pays the vendor timeout "
+                 "floor with nothing pipelined behind it;\ndepth 128 "
+                 "absorbs the same storm with a 16-deep window. drift "
+                 "is the final\ncounter value minus the adds posted — "
+                 "any nonzero means a duplicate atomic\nwas re-executed "
+                 "instead of served from the replay cache (A1/A2 also "
+                 "audit\nthe wire).");
+         }});
+}
+
+} // namespace bench
+} // namespace ibsim

@@ -25,6 +25,7 @@ registerAllBenches(exp::Registry& registry)
     registerSimcoreMicro(registry);
     registerChaosProbe(registry);
     registerFloodCapacity(registry);
+    registerAtomicReplayThrash(registry);
 }
 
 } // namespace bench

@@ -34,6 +34,7 @@ void registerAblationOdpLatency(exp::Registry& registry);
 void registerSimcoreMicro(exp::Registry& registry);
 void registerChaosProbe(exp::Registry& registry);
 void registerFloodCapacity(exp::Registry& registry);
+void registerAtomicReplayThrash(exp::Registry& registry);
 
 /** Register the full suite, in paper order. */
 void registerAllBenches(exp::Registry& registry);

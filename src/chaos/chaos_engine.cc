@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "chaos/port_events.hh"
 #include "cluster/topology.hh"
 #include "exp/seed_stream.hh"
 #include "mem/address_space.hh"
@@ -68,6 +69,23 @@ ChaosEngine::attachTopology(Topology& topology)
 }
 
 void
+ChaosEngine::attachPortEvents(Topology& topology)
+{
+    eventTopology_ = &topology;
+}
+
+void
+ChaosEngine::install(net::Fabric& fabric)
+{
+    fabric.setFaultHook(&injector_);
+    if (eventTopology_ != nullptr && portEvents_ == nullptr) {
+        portEvents_ =
+            std::make_unique<PortEventDriver>(fabric, *eventTopology_);
+        portEvents_->start();
+    }
+}
+
+void
 ChaosEngine::installSharded(net::Fabric& fabric)
 {
     // One pipeline fork per island: same stage list as install(), a
@@ -88,6 +106,15 @@ ChaosEngine::installSharded(net::Fabric& fabric)
         }
         fabric.setIslandFaultHook(i, injector.get());
         islandInjectors_.push_back(std::move(injector));
+    }
+
+    // Port-event mode: the driver itself forks one schedule replica per
+    // endpoint chain onto that endpoint's island queue — the same trick
+    // as the TopologyStage replicas above, applied to events.
+    if (eventTopology_ != nullptr && portEvents_ == nullptr) {
+        portEvents_ =
+            std::make_unique<PortEventDriver>(fabric, *eventTopology_);
+        portEvents_->startSharded();
     }
 }
 

@@ -34,6 +34,7 @@ namespace ibsim {
 namespace chaos {
 
 class Topology;
+class PortEventDriver;
 
 /**
  * Declarative fault campaign. Rates are per-packet probabilities; a
@@ -93,8 +94,9 @@ class ChaosEngine
     ChaosEngine(const ChaosEngine&) = delete;
     ChaosEngine& operator=(const ChaosEngine&) = delete;
 
-    /** Install the wire pipeline on @p fabric. */
-    void install(net::Fabric& fabric) { fabric.setFaultHook(&injector_); }
+    /** Install the wire pipeline on @p fabric (and, after
+     * attachPortEvents(), start the port-event driver). */
+    void install(net::Fabric& fabric);
 
     /** Remove the wire pipeline from @p fabric. */
     void uninstall(net::Fabric& fabric) { fabric.setFaultHook(nullptr); }
@@ -134,6 +136,24 @@ class ChaosEngine
      * config-built ones.
      */
     void attachTopology(Topology& topology);
+
+    /**
+     * Port-event mode — the opt-in successor of attachTopology(). No
+     * TopologyStage is added; instead install()/installSharded() start a
+     * PortEventDriver (chaos/port_events.hh) that converts @p topology's
+     * flap schedules into fabric link-state toggles (packets drop at the
+     * sending port) plus async port events toward the RNICs, which is
+     * what the QP error/recovery machinery keys off. Under
+     * installSharded() the driver forks one schedule replica per
+     * endpoint island, exactly like the TopologyStage replicas, so the
+     * event sequence is bit-identical at any jobs count. Mutually
+     * exclusive with attachTopology(); the legacy silent-drop mode stays
+     * the default.
+     */
+    void attachPortEvents(Topology& topology);
+
+    /** The port-event driver (null until install()/installSharded()). */
+    PortEventDriver* portEvents() { return portEvents_.get(); }
 
     /**
      * Page-fault latency spikes: with probability @p rate a fault's
@@ -199,6 +219,10 @@ class ChaosEngine
     std::vector<std::unique_ptr<Topology>> topoReplicas_;
     std::vector<std::unique_ptr<FaultInjector>> islandInjectors_;
     /** @} */
+
+    /** Port-event mode (attachPortEvents()). */
+    Topology* eventTopology_ = nullptr;
+    std::unique_ptr<PortEventDriver> portEvents_;
 };
 
 } // namespace chaos

@@ -22,6 +22,8 @@ isRequestOpcode(net::Opcode op)
     case net::Opcode::Nak:
     case net::Opcode::RnrNak:
     case net::Opcode::AtomicResponse:
+    case net::Opcode::CmRearm:
+    case net::Opcode::CmRearmAck:
         return false;
     }
     return false;

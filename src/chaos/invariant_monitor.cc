@@ -168,13 +168,59 @@ InvariantMonitor::onEgress(const net::Packet& pkt, bool dropped)
             if (rs != nullptr)
                 rs->atomicAnswerAttributionLost = true;
         }
+        // A second exception, same evidence-chain reasoning: an
+        // uncorrupted clone of an atomic answer proves the responder
+        // emitted that answer. When a later erasing stage (drop, flap,
+        // loss model) removes the original delivery in the same
+        // pipeline pass, only the clone reaches this tap — skipping it
+        // would undercount the A1 ledger into a false "replay lost".
+        // Credit it; over-crediting when both copies survive is safe
+        // because the A1 check is one-sided (answered < required).
+        else if ((pkt.chaosFlags & net::Packet::chaosDuplicated) != 0 &&
+                 pkt.op == net::Opcode::AtomicResponse) {
+            FlowState* rs = flow(pkt.srcLid, pkt.srcQpn);
+            if (rs != nullptr) {
+                auto must = rs->atomicMustAnswer.find(pkt.psn);
+                if (must != rs->atomicMustAnswer.end())
+                    ++rs->atomicAnswered[pkt.psn];
+            }
+        }
         return;
     }
+
+    // CM re-arm handshake traffic is control plane: it carries reset
+    // epochs, not transport PSNs, so the request/response families must
+    // not book it (its PSN field would alias PSN 0 of the new stream).
+    // Already hash-mixed above, so it still shows in trace goldens.
+    if (pkt.op == net::Opcode::CmRearm || pkt.op == net::Opcode::CmRearmAck)
+        return;
 
     if (isRequestOpcode(pkt.op))
         onRequestEgress(shard, pkt, dropped);
     else
         onResponseEgress(shard, pkt, dropped);
+}
+
+void
+InvariantMonitor::syncEpoch(FlowState& st)
+{
+    if (st.qp == nullptr || st.qp->resetEpoch == st.lastEpoch)
+        return;
+    // Recovery restarted the PSN stream from zero: re-anchor every
+    // PSN-keyed ledger. The completion ledgers (C1/C2/F1) survive on
+    // purpose — a recovered QP re-delivering an already-acked WR must
+    // still trip send-exactly-once.
+    st.lastEpoch = st.qp->resetEpoch;
+    st.freshSeen.clear();
+    st.anyPostSeen = false;
+    st.lastNextPsn = st.qp->nextPsn;
+    st.attachPsn = 0;
+    st.lateAttach = false;
+    st.atomicMustAnswer.clear();
+    st.atomicAnswered.clear();
+    st.atomicRespPayload.clear();
+    st.anyFreshData = false;
+    st.anyFreshAtomic = false;
 }
 
 void
@@ -184,6 +230,7 @@ InvariantMonitor::onRequestEgress(Shard& shard, const net::Packet& pkt,
     const Time now = fabric_.islandEvents(fabric_.egressIsland()).now();
     FlowState* st = flow(pkt.srcLid, pkt.srcQpn);
     if (st != nullptr && st->qp != nullptr) {
+        syncEpoch(*st);
         const rnic::QpContext& qp = *st->qp;
         // A READ reserves [psn, psn+segCount) with one wire packet; all
         // other requests occupy one PSN per packet.
@@ -274,9 +321,10 @@ InvariantMonitor::onRequestEgress(Shard& shard, const net::Packet& pkt,
             shard.out[dstIsland].push(
                 (now + fabric_.shardedKernel()->lookahead()).toNs(),
                 {now, pkt.wireId, 0, pkt.op, pkt.dstLid, pkt.dstQpn,
-                 pkt.psn});
+                 pkt.psn, pkt.epoch});
         } else {
-            judgeAtomicMustAnswer(pkt.dstLid, pkt.dstQpn, pkt.psn);
+            judgeAtomicMustAnswer(pkt.dstLid, pkt.dstQpn, pkt.psn,
+                                  pkt.epoch);
         }
     }
 }
@@ -284,12 +332,14 @@ InvariantMonitor::onRequestEgress(Shard& shard, const net::Packet& pkt,
 void
 InvariantMonitor::judgeAtomicMustAnswer(std::uint16_t dst_lid,
                                         std::uint32_t dst_qpn,
-                                        std::uint32_t psn)
+                                        std::uint32_t psn,
+                                        std::uint16_t epoch)
 {
     FlowState* resp = flow(dst_lid, dst_qpn);
     if (resp != nullptr && resp->qp != nullptr &&
         resp->qp->config.transport == verbs::Transport::Rc &&
         !resp->qp->errorState &&
+        resp->qp->resetEpoch == epoch &&
         rnic::psnDiff(psn, resp->qp->expectedPsn) < 0) {
         ++resp->atomicMustAnswer[psn];
     }
@@ -304,6 +354,7 @@ InvariantMonitor::onResponseEgress(Shard& shard, const net::Packet& pkt,
     // Responder-role checks, judged against the emitting (source) flow.
     FlowState* rs = flow(pkt.srcLid, pkt.srcQpn);
     if (rs != nullptr && rs->qp != nullptr) {
+        syncEpoch(*rs);
         const verbs::Transport transport = rs->qp->config.transport;
         if (transport == verbs::Transport::Ud ||
             transport == verbs::Transport::Uc) {
@@ -392,22 +443,24 @@ InvariantMonitor::onResponseEgress(Shard& shard, const net::Packet& pkt,
     if (fabric_.sharded() && dstIsland != fabric_.egressIsland()) {
         shard.out[dstIsland].push(
             (now + fabric_.shardedKernel()->lookahead()).toNs(),
-            {now, pkt.wireId, 1, pkt.op, pkt.dstLid, pkt.dstQpn, pkt.psn});
+            {now, pkt.wireId, 1, pkt.op, pkt.dstLid, pkt.dstQpn, pkt.psn,
+             pkt.epoch});
         return;
     }
     judgeAckCoherence(shardOf(pkt.dstLid), now, pkt.op, pkt.dstLid,
-                      pkt.dstQpn, pkt.psn);
+                      pkt.dstQpn, pkt.psn, pkt.epoch);
 }
 
 void
 InvariantMonitor::judgeAckCoherence(Shard& shard, Time at, net::Opcode op,
                                     std::uint16_t dst_lid,
                                     std::uint32_t dst_qpn,
-                                    std::uint32_t psn)
+                                    std::uint32_t psn, std::uint16_t epoch)
 {
     FlowState* st = flow(dst_lid, dst_qpn);
     if (st == nullptr || st->qp == nullptr ||
-        st->qp->config.transport != verbs::Transport::Rc) {
+        st->qp->config.transport != verbs::Transport::Rc ||
+        st->qp->resetEpoch != epoch) {
         return;
     }
     if (rnic::psnDiff(psn, st->qp->nextPsn) >= 0) {
@@ -426,6 +479,7 @@ InvariantMonitor::onSendPost(std::uint16_t lid, const rnic::QpContext& qp,
     FlowState* st = flow(lid, qp.qpn);
     if (st == nullptr)
         return;
+    syncEpoch(*st);
     // P1: the post tap fires before PSN assignment, so qp.nextPsn is the
     // value every earlier post advanced it to — it must never regress.
     // Holds for every transport: UC/UD assign from the same counter.
@@ -459,6 +513,17 @@ InvariantMonitor::onCompletion(std::uint16_t lid,
     FlowState* st = flow(lid, wc.qpn);
     if (st == nullptr)
         return;
+    // E1: an Error-state QP must not produce *successful* completions.
+    // Flush completions drain legally (and RcRequester pushes them
+    // before flipping the state); a success here means the send engine
+    // kept delivering past the error transition.
+    if (wc.ok() && st->qp != nullptr &&
+        st->qp->state == rnic::QpState::Error) {
+        emit(shardOf(lid), "error-qp-completion",
+             fabric_.islandEvents(fabric_.islandOf(lid)).now(), lid, wc.qpn,
+             "successful completion wrId=" + std::to_string(wc.wrId) +
+                 " delivered while the QP is in the Error state");
+    }
     if (wc.opcode == verbs::WrOpcode::Recv) {
         // Late attach: a completion for a RECV we never saw posted
         // belongs to the pre-attach era, not to the oracle.
@@ -591,10 +656,11 @@ InvariantMonitor::flushInbound(std::size_t island, Time now, Time horizon)
               });
     for (const CrossRecord& rec : in) {
         if (rec.kind == 0)
-            judgeAtomicMustAnswer(rec.dstLid, rec.dstQpn, rec.psn);
+            judgeAtomicMustAnswer(rec.dstLid, rec.dstQpn, rec.psn,
+                                  rec.epoch);
         else
             judgeAckCoherence(dst, rec.at, rec.op, rec.dstLid, rec.dstQpn,
-                              rec.psn);
+                              rec.psn, rec.epoch);
     }
     return in.size();
 }

@@ -61,6 +61,21 @@
  *  S1 swrel-exactly-once  SoftReliableChannel delivered each sequence
  *                         number at most once, and no message is both
  *                         acked and failed
+ *  E1 error-qp-completion a QP in the Error state never produces a
+ *                         *successful* completion (flush completions
+ *                         drain legally; RcRequester pushes them before
+ *                         the Error transition)
+ *
+ * QP recovery (rnic re-arm, QpContext::resetEpoch advancing): the PSN
+ * stream restarts from zero, so on the first post/egress of a new epoch
+ * the wire bookkeeping (W1 fresh-set, P1 anchor, A1/A2 atomic ledgers)
+ * re-anchors; the completion ledgers (C1/C2/F1) deliberately survive —
+ * a recovered QP re-delivering an already-acked WR still trips
+ * send-exactly-once, which is the "recovery must not re-deliver" rule.
+ * CM re-arm handshake packets (CmRearm/CmRearmAck) are hash-mixed but
+ * excluded from request/response bookkeeping (they carry control-plane
+ * epochs, not transport PSNs), and cross-island deferred checks carry
+ * the packet's epoch so a judgement never crosses a reset boundary.
  *
  * Packets carrying chaos provenance flags (duplicated / corrupted /
  * forged — see net::Packet) are recognized as injected noise and excluded
@@ -241,6 +256,9 @@ class InvariantMonitor : public ShardedKernel::BarrierAgent
         std::uint32_t lastNextPsn = 0;
         bool anyPostSeen = false;
 
+        /** Reset epoch the wire bookkeeping is anchored to. */
+        std::uint16_t lastEpoch = 0;
+
         /**
          * @{ Late-attach state: nextPsn snapshotted at watch() time, and
          * whether the QP had prior traffic then. PSNs below attachPsn
@@ -305,6 +323,7 @@ class InvariantMonitor : public ShardedKernel::BarrierAgent
         std::uint16_t dstLid;
         std::uint32_t dstQpn;
         std::uint32_t psn;
+        std::uint16_t epoch;   ///< reset epoch the PSN belongs to
     };
 
     /**
@@ -349,14 +368,21 @@ class InvariantMonitor : public ShardedKernel::BarrierAgent
               std::uint16_t lid, std::uint32_t qpn,
               const std::string& detail);
 
-    /** The A1 must-answer judgement (inline or at a barrier). */
+    /**
+     * Re-anchor a flow's wire bookkeeping when its QP's resetEpoch moved
+     * (recovery restarted the PSN stream). Completion ledgers survive.
+     */
+    void syncEpoch(FlowState& st);
+
+    /** The A1 must-answer judgement (inline or at a barrier). @p epoch
+     * gates it: stale-epoch records never judge a recovered responder. */
     void judgeAtomicMustAnswer(std::uint16_t dst_lid, std::uint32_t dst_qpn,
-                               std::uint32_t psn);
+                               std::uint32_t psn, std::uint16_t epoch);
 
     /** The W4 ack-coherence judgement (inline or at a barrier). */
     void judgeAckCoherence(Shard& shard, Time at, net::Opcode op,
                            std::uint16_t dst_lid, std::uint32_t dst_qpn,
-                           std::uint32_t psn);
+                           std::uint32_t psn, std::uint16_t epoch);
 
     static constexpr std::size_t storedCap = 64;
 

@@ -135,7 +135,44 @@ Cluster::report()
             static_cast<unsigned long long>(b.slowRefreshes));
         out += line;
     }
+
+    // Port-event chaos ran: append the link-failure/recovery summary.
+    const PortEventSummary pe = portEventSummary();
+    if (pe.portDownEvents + pe.portUpEvents + pe.gateDrops > 0) {
+        std::snprintf(
+            line, sizeof(line),
+            "port events: down=%llu up=%llu reroutes=%llu "
+            "qp_errors=%llu qp_recovered=%llu stale_drops=%llu "
+            "cm_rearms=%llu gate_drops=%llu\n",
+            static_cast<unsigned long long>(pe.portDownEvents),
+            static_cast<unsigned long long>(pe.portUpEvents),
+            static_cast<unsigned long long>(pe.reroutes),
+            static_cast<unsigned long long>(pe.qpsEnteredError),
+            static_cast<unsigned long long>(pe.qpsRecovered),
+            static_cast<unsigned long long>(pe.staleEpochDrops),
+            static_cast<unsigned long long>(pe.cmRearmsSent),
+            static_cast<unsigned long long>(pe.gateDrops));
+        out += line;
+    }
     return out;
+}
+
+Cluster::PortEventSummary
+Cluster::portEventSummary()
+{
+    PortEventSummary s;
+    for (const auto& node : nodes_) {
+        const rnic::RnicStats& r = node->rnic().stats();
+        s.portDownEvents += r.portDownEvents;
+        s.portUpEvents += r.portUpEvents;
+        s.reroutes += r.reroutes;
+        s.qpsEnteredError += r.qpsEnteredError;
+        s.qpsRecovered += r.qpsRecovered;
+        s.staleEpochDrops += r.staleEpochDrops;
+        s.cmRearmsSent += r.cmRearmsSent;
+    }
+    s.gateDrops = fabric_.totalPortEventDrops();
+    return s;
 }
 
 std::pair<verbs::QueuePair, verbs::QueuePair>

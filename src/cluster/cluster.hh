@@ -165,6 +165,26 @@ class Cluster
     std::string report();
 
     /**
+     * Aggregate port-event/recovery counters over every node's RNIC —
+     * the degradation summary the flood bench prints next to its
+     * throughput numbers (all zero unless a PortEventDriver ran).
+     */
+    struct PortEventSummary
+    {
+        std::uint64_t portDownEvents = 0;
+        std::uint64_t portUpEvents = 0;
+        std::uint64_t reroutes = 0;
+        std::uint64_t qpsEnteredError = 0;
+        std::uint64_t qpsRecovered = 0;
+        std::uint64_t staleEpochDrops = 0;
+        std::uint64_t cmRearmsSent = 0;
+        /** Fabric-side drops at port/link-down gates. */
+        std::uint64_t gateDrops = 0;
+    };
+
+    PortEventSummary portEventSummary();
+
+    /**
      * Create and connect a pair of RC QPs between two nodes.
      * Both ends use @p config and complete into the given CQs.
      */

@@ -9,7 +9,7 @@ namespace ibsim {
 namespace chaos {
 
 Topology::Topology(std::size_t node_count, std::uint64_t seed)
-    : nodes_(node_count)
+    : nodes_(node_count), seed_(seed)
 {
     // One RNG per unordered link, each on a disjoint SeedStream index so
     // link schedules are pairwise independent and adding traffic on one
@@ -46,14 +46,14 @@ void
 Topology::setDefaultPlan(const FlapPlan& plan)
 {
     for (Link& link : links_)
-        link.plan = plan;
+        link.sched.setPlan(plan);
 }
 
 void
 Topology::setLinkPlan(std::uint16_t lid_a, std::uint16_t lid_b,
                       const FlapPlan& plan)
 {
-    links_.at(linkIndex(lid_a, lid_b)).plan = plan;
+    links_.at(linkIndex(lid_a, lid_b)).sched.setPlan(plan);
 }
 
 bool
@@ -62,25 +62,38 @@ Topology::linkUp(std::uint16_t src, std::uint16_t dst, Time now)
     if (!inMesh(src, dst))
         return true;
     Link& link = links_[linkIndex(src, dst)];
-    if (!link.plan.enabled())
-        return true;
 
     // The schedule anchors at virtual time zero and advances window by
     // window; each window draws exactly once from the link's RNG, so the
     // sequence is a pure function of the seed no matter when (or how
     // often) the link is queried.
-    if (!link.scheduleStarted) {
-        link.scheduleStarted = true;
-        link.nextToggle = link.rng.jitter(link.plan.meanUp, 0.5);
-    }
-    while (now >= link.nextToggle) {
-        link.up = !link.up;
-        if (!link.up)
-            ++link.stats.flaps;
-        link.nextToggle += link.rng.jitter(
-            link.up ? link.plan.meanUp : link.plan.meanDown, 0.5);
-    }
-    return link.up;
+    const bool up = link.sched.upAt(now);
+    link.stats.flaps = link.sched.downTransitions();
+    return up;
+}
+
+FlapPlan
+Topology::linkPlan(std::uint16_t lid_a, std::uint16_t lid_b) const
+{
+    if (!inMesh(lid_a, lid_b))
+        return FlapPlan{};
+    return links_[linkIndex(lid_a, lid_b)].sched.plan();
+}
+
+bool
+Topology::linkEnabled(std::uint16_t lid_a, std::uint16_t lid_b) const
+{
+    return inMesh(lid_a, lid_b) &&
+           links_[linkIndex(lid_a, lid_b)].sched.enabled();
+}
+
+LinkSchedule
+Topology::makeSchedule(std::uint16_t lid_a, std::uint16_t lid_b) const
+{
+    assert(inMesh(lid_a, lid_b));
+    const std::size_t idx = linkIndex(lid_a, lid_b);
+    const exp::SeedStream seeds("chaos.topology", seed_);
+    return LinkSchedule(links_[idx].sched.plan(), seeds.trialSeed(idx, 0));
 }
 
 void

@@ -48,6 +48,84 @@ struct FlapPlan
 };
 
 /**
+ * The window schedule of one link, extracted as a first-class cursor so
+ * the same (plan, seed) pair can drive both the lazy per-query flap
+ * check (Topology::linkUp, the legacy silent-drop TopologyStage) and the
+ * eager port-*event* chains of chaos::PortEventDriver. The draw sequence
+ * is exactly the historical Link one — first query draws the first
+ * toggle from meanUp, then each toggle flips the state *before* drawing
+ * the next window — so replicas built from Topology::makeSchedule()
+ * reproduce the legacy windows bit-identically (the mesh-soak golden
+ * depends on this).
+ */
+class LinkSchedule
+{
+  public:
+    LinkSchedule(FlapPlan plan, std::uint64_t seed)
+        : plan_(plan), rng_(seed)
+    {}
+
+    bool enabled() const { return plan_.enabled(); }
+    const FlapPlan& plan() const { return plan_; }
+
+    /** Swap the plan (legal before the schedule starts drawing). */
+    void setPlan(const FlapPlan& plan) { plan_ = plan; }
+
+    bool up() const { return up_; }
+    bool started() const { return started_; }
+    Time nextToggle() const { return nextToggle_; }
+
+    /** Down windows entered so far. */
+    std::uint64_t downTransitions() const { return downs_; }
+
+    /** Draw the first toggle time (idempotent); returns it. */
+    Time
+    start()
+    {
+        if (!started_) {
+            started_ = true;
+            nextToggle_ = rng_.jitter(plan_.meanUp, 0.5);
+        }
+        return nextToggle_;
+    }
+
+    /** Flip at the current toggle boundary; returns the next one. */
+    Time
+    toggle()
+    {
+        up_ = !up_;
+        if (!up_)
+            ++downs_;
+        nextToggle_ +=
+            rng_.jitter(up_ ? plan_.meanUp : plan_.meanDown, 0.5);
+        return nextToggle_;
+    }
+
+    /**
+     * Advance to @p now and report the state (the lazy query form;
+     * queries must be time-monotonic).
+     */
+    bool
+    upAt(Time now)
+    {
+        if (!enabled())
+            return true;
+        start();
+        while (now >= nextToggle_)
+            toggle();
+        return up_;
+    }
+
+  private:
+    FlapPlan plan_;
+    Rng rng_;
+    bool up_ = true;
+    bool started_ = false;
+    std::uint64_t downs_ = 0;
+    Time nextToggle_;
+};
+
+/**
  * An N-node full mesh of independently flapping links (LIDs 1..N, the
  * Cluster numbering). Links start up and carry no plan until one is set.
  */
@@ -96,25 +174,39 @@ class Topology
     /** Completed down windows across every link. */
     std::uint64_t totalFlaps() const;
 
+    /** The flap plan of {lid_a, lid_b} (zeroed plan when disabled). */
+    FlapPlan linkPlan(std::uint16_t lid_a, std::uint16_t lid_b) const;
+
+    /** Whether {lid_a, lid_b} is a mesh link with an enabled plan. */
+    bool linkEnabled(std::uint16_t lid_a, std::uint16_t lid_b) const;
+
+    /**
+     * Fork a fresh schedule replica of {lid_a, lid_b} — same plan, same
+     * private seed, cursor at time zero. Replicas advance independently
+     * of the topology's own lazy cursor, so port-event drivers (and
+     * their per-island copies under the sharded kernel) see the exact
+     * window sequence TopologyStage would, without sharing state.
+     */
+    LinkSchedule makeSchedule(std::uint16_t lid_a,
+                              std::uint16_t lid_b) const;
+
+    /** Whether {lid_a, lid_b} are distinct LIDs inside the mesh. */
+    bool inMesh(std::uint16_t lid_a, std::uint16_t lid_b) const;
+
   private:
     struct Link
     {
-        explicit Link(std::uint64_t seed) : rng(seed) {}
+        explicit Link(std::uint64_t seed) : sched({}, seed) {}
 
-        FlapPlan plan;
-        Rng rng;
-        bool up = true;
-        bool scheduleStarted = false;
-        Time nextToggle;
+        LinkSchedule sched;
         LinkStats stats;
     };
 
     /** Index of the unordered link {a, b} in the triangular table. */
     std::size_t linkIndex(std::uint16_t lid_a, std::uint16_t lid_b) const;
 
-    bool inMesh(std::uint16_t lid_a, std::uint16_t lid_b) const;
-
     std::size_t nodes_;
+    std::uint64_t seed_;
     std::vector<Link> links_;
 };
 

@@ -65,6 +65,87 @@ Fabric::addTap(CaptureTap tap)
     taps_.push_back(std::move(tap));
 }
 
+void
+Fabric::setPortState(std::uint16_t lid, PortState state)
+{
+    port(lid).state = state;
+}
+
+void
+Fabric::raisePortEvent(std::uint16_t lid, const PortEvent& ev)
+{
+    if (attached(lid))
+        ports_[lid].handler->portEvent(ev);
+}
+
+void
+Fabric::setLinkDown(std::vector<std::uint32_t>& set, std::uint32_t key,
+                    bool down)
+{
+    auto it = std::find(set.begin(), set.end(), key);
+    if (down && it == set.end()) {
+        set.push_back(key);
+    } else if (!down && it != set.end()) {
+        *it = set.back();
+        set.pop_back();
+    }
+}
+
+void
+Fabric::setLinkState(std::uint16_t a, std::uint16_t b, bool up)
+{
+    setLinkDown(downLinks_, linkKey(a, b), !up);
+}
+
+void
+Fabric::setLaneLinkState(std::size_t island, std::uint16_t a,
+                         std::uint16_t b, bool up)
+{
+    if (!sharded()) {
+        setLinkState(a, b, up);
+        return;
+    }
+    assert(island < lanes_.size());
+    setLinkDown(lanes_[island].downLinks, linkKey(a, b), !up);
+}
+
+bool
+Fabric::laneLinkDown(std::size_t island, std::uint16_t a,
+                     std::uint16_t b) const
+{
+    const std::vector<std::uint32_t>& set =
+        sharded() ? lanes_[island].downLinks : downLinks_;
+    return std::find(set.begin(), set.end(), linkKey(a, b)) != set.end();
+}
+
+bool
+Fabric::egressAdmits(const std::vector<std::uint32_t>& down_links,
+                     const Packet& pkt, Time* detour) const
+{
+    *detour = Time();
+    if (pkt.srcLid < ports_.size() &&
+        ports_[pkt.srcLid].state == PortState::Down)
+        return false;
+    if (!down_links.empty() &&
+        std::find(down_links.begin(), down_links.end(),
+                  linkKey(pkt.srcLid, pkt.dstLid)) != down_links.end()) {
+        if (!pkt.rerouted)
+            return false;
+        // SM reroute around the cut link: one extra hop of latency.
+        *detour = config_.latency;
+    }
+    return true;
+}
+
+std::uint64_t
+Fabric::totalPortEventDrops() const
+{
+    std::uint64_t total = portEventDrops_;
+    for (const Lane& lane : lanes_)
+        total += lane.portEventDrops;
+    return total;
+}
+
 std::uint64_t
 Fabric::send(Packet pkt)
 {
@@ -74,6 +155,19 @@ Fabric::send(Packet pkt)
     pkt.wireId = nextWireId_++;
     pkt.sentAt = events_.now();
     ++totalSent_;
+
+    // Port/link gate: a down source port or a down link kills the packet
+    // at egress, before any fault stage — the wire simply is not there.
+    Time detour;
+    if (!egressAdmits(downLinks_, pkt, &detour)) {
+        ++totalDropped_;
+        ++portEventDrops_;
+        for (const auto& tap : taps_)
+            tap(pkt, true);
+        IBSIM_TRACE(traceFabric, events_.now(),
+                    pkt.str() + "  ** DROPPED (link down) **");
+        return pkt.wireId;
+    }
 
     // Stage zero of the fault pipeline: the legacy LossModel, consulted
     // with the fabric RNG before the hook so pre-chaos loss users keep
@@ -107,13 +201,13 @@ Fabric::send(Packet pkt)
                 ++totalInjected_;
             }
             out[i].pkt.sentAt = events_.now();
-            deliver(std::move(out[i].pkt), out[i].extraDelay);
+            deliver(std::move(out[i].pkt), out[i].extraDelay + detour);
         }
         return id;
     }
 
     const std::uint64_t id = pkt.wireId;
-    deliver(std::move(pkt), Time());
+    deliver(std::move(pkt), detour);
     return id;
 }
 
@@ -122,15 +216,19 @@ Fabric::deliver(Packet pkt, Time extra_delay)
 {
     PortRecord& dst = port(pkt.dstLid);
     const bool unknownLid = (dst.handler == nullptr);
+    const bool portDown = dst.state == PortState::Down;
 
     for (const auto& tap : taps_)
-        tap(pkt, unknownLid);
+        tap(pkt, unknownLid || portDown);
 
     IBSIM_TRACE(traceFabric, events_.now(),
-                pkt.str() + (unknownLid ? "  ** DROPPED **" : ""));
+                pkt.str() +
+                    (unknownLid || portDown ? "  ** DROPPED **" : ""));
 
-    if (unknownLid) {
+    if (unknownLid || portDown) {
         ++totalDropped_;
+        if (portDown)
+            ++portEventDrops_;
         return;
     }
 
@@ -245,6 +343,20 @@ Fabric::sendSharded(Packet pkt)
     pkt.sentAt = lane.events->now();
     ++lane.sent;
 
+    // Port/link gate against this island's own link-state replica: the
+    // flap driver toggles each endpoint's replica from events on that
+    // endpoint's island, so this read never crosses islands.
+    Time detour;
+    if (!egressAdmits(lane.downLinks, pkt, &detour)) {
+        ++lane.dropped;
+        ++lane.portEventDrops;
+        for (const auto& tap : taps_)
+            tap(pkt, true);
+        IBSIM_TRACE(traceFabric, lane.events->now(),
+                    pkt.str() + "  ** DROPPED (link down) **");
+        return pkt.wireId;
+    }
+
     if (loss_->shouldDrop(pkt, lane.rng)) {
         ++lane.dropped;
         for (const auto& tap : taps_)
@@ -277,13 +389,13 @@ Fabric::sendSharded(Packet pkt)
             }
             out[i].pkt.sentAt = lane.events->now();
             deliverSharded(laneIndex, std::move(out[i].pkt),
-                           out[i].extraDelay);
+                           out[i].extraDelay + detour);
         }
         return id;
     }
 
     const std::uint64_t id = pkt.wireId;
-    deliverSharded(laneIndex, std::move(pkt), Time());
+    deliverSharded(laneIndex, std::move(pkt), detour);
     return id;
 }
 
@@ -347,6 +459,14 @@ Fabric::finalizeIngress(std::size_t dst_island, Packet pkt, Time arrive0,
 {
     Lane& dst = lanes_[dst_island];
     PortRecord& rec = ports_[pkt.dstLid];
+    if (rec.state == PortState::Down) {
+        // Administrative ingress gate, checked on the owning island. The
+        // egress tap already saw the packet as delivered; this late drop
+        // models a port that died while the packet was in flight.
+        ++dst.dropped;
+        ++dst.portEventDrops;
+        return;
+    }
     PortHandler* handler = rec.handler;
     const Time arrive = std::max(arrive0, rec.ingressFreeAt);
     rec.ingressFreeAt = arrive + serialization;

@@ -32,6 +32,46 @@ namespace ibsim {
 namespace net {
 
 /**
+ * Administrative state of a port (IBA PortState, reduced to what the
+ * simulation distinguishes). `Flapping` is an annotation meaning "this
+ * port's links carry an active flap schedule"; it gates nothing — only
+ * `Down` stops traffic.
+ */
+enum class PortState : std::uint8_t
+{
+    Up,
+    Down,
+    Flapping,
+};
+
+/**
+ * A port/path event raised by the fabric toward the attached RNIC — the
+ * simulation's equivalent of an IBV_EVENT_PORT_ERR/PORT_ACTIVE async
+ * event. Path events are per-peer (one mesh link went down/up); port
+ * events cover the whole port.
+ */
+struct PortEvent
+{
+    enum class Type : std::uint8_t
+    {
+        PortUp,
+        PortDown,
+        PathUp,    ///< link to `peerLid` recovered
+        PathDown,  ///< link to `peerLid` cut
+    };
+
+    Type type = Type::PortDown;
+    std::uint16_t lid = 0;      ///< the port the event is delivered to
+    std::uint16_t peerLid = 0;  ///< far end of the link (path events)
+
+    /**
+     * True when, at event time, the subnet still has another up link out
+     * of this port — i.e. an SM-style reroute around the cut is possible.
+     */
+    bool redundantPath = false;
+};
+
+/**
  * Receiver interface implemented by RNICs.
  */
 class PortHandler
@@ -41,6 +81,9 @@ class PortHandler
 
     /** A packet has arrived at this port. */
     virtual void receive(const Packet& pkt) = 0;
+
+    /** An async port/path event for this port (default: ignored). */
+    virtual void portEvent(const PortEvent& ev) { (void)ev; }
 };
 
 /** Static link parameters of the fabric. */
@@ -131,6 +174,49 @@ class Fabric : public ShardedKernel::BarrierAgent
 
     /** Add a capture tap observing all traffic. */
     void addTap(CaptureTap tap);
+
+    /** @{ Port events and link state (see DESIGN.md §13).
+     *
+     * Link-down windows gate traffic at *egress*: a packet sent while
+     * the (src, dst) link is down is dropped at the sending port (taps
+     * see it with dropped = true), unless the sending QP was rerouted
+     * (Packet::rerouted), in which case it passes and is charged one
+     * extra hop of latency for the detour. Packets already past egress
+     * when a link cuts still arrive — cutting a link does not vaporize
+     * in-flight photons. In island mode every island keeps its own
+     * replica of link state (setLaneLinkState()), toggled by its own
+     * scheduled events, so egress decisions never read foreign-island
+     * state. Port `Down` state additionally gates ingress at the
+     * destination port (island-owned there too).
+     */
+
+    /** Administrative port state (setup/test API; `Down` gates traffic). */
+    void setPortState(std::uint16_t lid, PortState state);
+
+    PortState
+    portState(std::uint16_t lid) const
+    {
+        return lid < ports_.size() ? ports_[lid].state : PortState::Up;
+    }
+
+    /** Deliver an async event to the handler attached at @p lid. */
+    void raisePortEvent(std::uint16_t lid, const PortEvent& ev);
+
+    /** Single-queue mode: toggle the {a, b} link. */
+    void setLinkState(std::uint16_t a, std::uint16_t b, bool up);
+
+    /** Island mode: toggle @p island's replica of the {a, b} link. */
+    void setLaneLinkState(std::size_t island, std::uint16_t a,
+                          std::uint16_t b, bool up);
+
+    /** Whether @p island's view of the {a, b} link is down. */
+    bool laneLinkDown(std::size_t island, std::uint16_t a,
+                      std::uint16_t b) const;
+
+    /** Packets dropped by port/link-down gates (subset of totalDropped). */
+    std::uint64_t totalPortEventDrops() const;
+
+    /** @} */
 
     /**
      * Whether a port is attached under @p lid — the dense PortRecord
@@ -261,6 +347,8 @@ class Fabric : public ShardedKernel::BarrierAgent
         Time egressFreeAt;
         /** Ingress link of this LID is serializing until then. */
         Time ingressFreeAt;
+        /** Administrative state; only Down gates traffic. */
+        PortState state = PortState::Up;
     };
 
     /** The record for @p lid, growing the table on first touch. */
@@ -302,6 +390,9 @@ class Fabric : public ShardedKernel::BarrierAgent
         std::uint64_t delivered = 0;
         std::uint64_t dropped = 0;
         std::uint64_t injected = 0;
+        std::uint64_t portEventDrops = 0;
+        /** Island-local replica of down links (keys from linkKey()). */
+        std::vector<std::uint32_t> downLinks;
         /** Outbound channels, one per destination island (a deque:
          * CrossChannel holds a mutex and must never move). */
         std::deque<CrossChannel<Parcel>> out;
@@ -314,6 +405,25 @@ class Fabric : public ShardedKernel::BarrierAgent
     void finalizeIngress(std::size_t dst_island, Packet pkt, Time arrive0,
                          Time serialization);
     /** @} */
+
+    static std::uint32_t
+    linkKey(std::uint16_t a, std::uint16_t b)
+    {
+        const std::uint16_t lo = a < b ? a : b;
+        const std::uint16_t hi = a < b ? b : a;
+        return (static_cast<std::uint32_t>(lo) << 16) | hi;
+    }
+
+    static void setLinkDown(std::vector<std::uint32_t>& set,
+                            std::uint32_t key, bool down);
+
+    /**
+     * Egress gate: src-port-Down and link-down checks, applied to
+     * genuine endpoint packets before the fault pipeline. Returns false
+     * to drop; sets @p detour to the reroute penalty otherwise.
+     */
+    bool egressAdmits(const std::vector<std::uint32_t>& down_links,
+                      const Packet& pkt, Time* detour) const;
 
     EventQueue& events_;
     Rng& rng_;
@@ -334,6 +444,9 @@ class Fabric : public ShardedKernel::BarrierAgent
     std::uint64_t totalDelivered_ = 0;
     std::uint64_t totalDropped_ = 0;
     std::uint64_t totalInjected_ = 0;
+    std::uint64_t portEventDrops_ = 0;
+    /** Single-queue down-link set (island mode uses Lane::downLinks). */
+    std::vector<std::uint32_t> downLinks_;
 
     /** @{ Island mode. lanes_ is a deque: stable Lane addresses. */
     ShardedKernel* kernel_ = nullptr;

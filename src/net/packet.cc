@@ -28,6 +28,8 @@ opcodeName(Opcode op)
       case Opcode::RnrNak: return "RNR_NAK";
       case Opcode::AtomicRequest: return "ATOMIC_REQ";
       case Opcode::AtomicResponse: return "ATOMIC_RESP";
+      case Opcode::CmRearm: return "CM_REARM";
+      case Opcode::CmRearmAck: return "CM_REARM_ACK";
     }
     return "?";
 }
@@ -62,9 +64,11 @@ Packet::wireSize() const
       case Opcode::Ack:
       case Opcode::Nak:
       case Opcode::RnrNak:
+      case Opcode::CmRearmAck:
         size += aethBytes;
         break;
       case Opcode::Send:
+      case Opcode::CmRearm:
         break;
     }
     switch (op) {

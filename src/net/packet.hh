@@ -34,6 +34,8 @@ enum class Opcode : std::uint8_t
     RnrNak,  ///< Receiver-Not-Ready NAK carrying the RNR timer value
     AtomicRequest,   ///< FETCH_ADD / CMP_SWAP request (ATOMICETH)
     AtomicResponse,  ///< 8-byte original value (ATOMICACKETH)
+    CmRearm,         ///< CM-style re-arm request (QP recovery handshake)
+    CmRearmAck,      ///< CM-style re-arm reply
 };
 
 /** NAK syndromes (IBA AETH codes we model). */
@@ -133,6 +135,23 @@ struct Packet
     static constexpr std::uint8_t chaosCrcEvading = 1u << 3;
     std::uint8_t chaosFlags = 0;
     /** @} */
+
+    /**
+     * True when the sending QP has been rerouted by the simulated subnet
+     * manager around a down link: the fabric lets such packets pass the
+     * link-down egress gate and charges one extra hop of latency for the
+     * detour. Models path state, not a wire field.
+     */
+    bool rerouted = false;
+
+    /**
+     * Reset epoch of the sending QP. Incremented each time a QP goes
+     * through the reset->init->RTR->RTS recovery path; receivers discard
+     * packets whose epoch does not match their own so stale pre-reset
+     * traffic cannot corrupt the re-armed PSN streams. Always 0 for QPs
+     * that never entered recovery, so legacy runs are unaffected.
+     */
+    std::uint16_t epoch = 0;
 
     /** Monotonic id assigned by the fabric when first sent. */
     std::uint64_t wireId = 0;

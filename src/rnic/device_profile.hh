@@ -150,6 +150,39 @@ struct DeviceProfile
     bool udDropAccountingBug = false;
     /** @} */
 
+    /**
+     * @{ Error/recovery switches (DESIGN.md §13). Both default off: a QP
+     * whose retries exhaust stays in the Error state forever, exactly the
+     * pre-recovery behaviour, unless the deployment opts in.
+     */
+
+    /**
+     * Re-arm Error-state QPs when the path to their peer comes back up
+     * (PathUp/PortUp async event): QP reset -> init -> RTR -> RTS via a
+     * CM-style handshake that re-synchronizes both endpoints' PSN
+     * streams under a new reset epoch.
+     */
+    bool qpRecoveryOnPortUp = false;
+
+    /**
+     * SM-style reroute: when a path goes down but the subnet still has a
+     * redundant link out of the port (PortEvent::redundantPath), re-
+     * resolve the LID route after smRerouteDelay instead of letting
+     * retries exhaust. Rerouted traffic passes the link-down gate and
+     * pays one extra hop of latency.
+     */
+    bool smReroute = false;
+
+    /** SM sweep delay before a reroute takes effect. */
+    Time smRerouteDelay = Time::ms(1);
+
+    /** @{ CM re-arm handshake retry policy. */
+    Time cmRetryInterval = Time::ms(1);
+    std::uint8_t cmRetryLimit = 7;
+    /** @} */
+
+    /** @} */
+
     /** ODP driver timing. */
     odp::FaultTiming faultTiming;
 

@@ -129,6 +129,24 @@ struct QpStats
 };
 
 /**
+ * QP state machine (ibv_qp_state subset). QPs historically only knew
+ * "connected" and "errorState"; the explicit machine exists for the
+ * recovery path: Error -> Reset -> Init -> RTR -> RTS re-arms a QP whose
+ * retries exhausted while its port was down. `errorState` is kept in
+ * sync (state == Error) for the hot paths that branch on a bool.
+ */
+enum class QpState : std::uint8_t
+{
+    Reset,  ///< created / torn down for recovery
+    Init,   ///< recovery handshake (CM re-arm) in flight
+    Rtr,    ///< responder re-armed, requester not yet
+    Rts,    ///< fully operational (connectQp lands here)
+    Error,  ///< retries exhausted; posts flush immediately
+};
+
+const char* qpStateName(QpState state);
+
+/**
  * The state of one RC queue pair.
  */
 struct QpContext
@@ -176,6 +194,34 @@ struct QpContext
     EventHandle clientRexmitTimer;
 
     bool errorState = false;
+    /** @} */
+
+    /** @{ Error/recovery machinery (DESIGN.md §13). */
+
+    /** Explicit QP state; errorState mirrors (state == Error). */
+    QpState state = QpState::Reset;
+
+    /** The path to dstLid is currently cut (set from PathDown events). */
+    bool pathDown = false;
+
+    /**
+     * The simulated SM rerouted this QP around a cut link: its packets
+     * pass the fabric's link-down gate at one extra hop of latency.
+     */
+    bool rerouted = false;
+
+    /**
+     * Reset epoch, bumped by each recovery pass and stamped into every
+     * packet; receivers discard stale-epoch traffic (see Packet::epoch).
+     */
+    std::uint16_t resetEpoch = 0;
+
+    /** @{ CM re-arm handshake retry timer. */
+    EventHandle cmTimer;
+    bool cmTimerArmed = false;
+    std::uint8_t cmRetries = 0;
+    /** @} */
+
     /** @} */
 
     /** @{ Responder state. */

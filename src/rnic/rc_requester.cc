@@ -157,7 +157,8 @@ RcRequester::post(SendWqe wqe)
                         for (auto& w : qp_.outstanding) {
                             if (w.psn == psn) {
                                 w.blockedOnLocalFault = false;
-                                if (!qp_.paused() &&
+                                if (qp_.state == QpState::Rts &&
+                                    !qp_.paused() &&
                                     w.transmissions == 0) {
                                     transmit(w);
                                 }
@@ -178,7 +179,10 @@ RcRequester::post(SendWqe wqe)
 void
 RcRequester::pump()
 {
-    if (qp_.errorState || qp_.paused())
+    // Only an RTS queue transmits: Error flushes at post time, and a QP
+    // mid-recovery (Reset/Init/RTR) queues posts until the CM handshake
+    // lands and resume() restarts the engine.
+    if (qp_.state != QpState::Rts || qp_.paused())
         return;
     while (!qp_.outstanding.empty()) {
         const std::uint32_t head_psn = qp_.outstanding.front().psn;
@@ -696,9 +700,17 @@ RcRequester::flushAll(verbs::WcStatus status)
     }
 
     qp_.errorState = true;
+    qp_.state = QpState::Error;
+    rnic_.noteQpError(qp_);
     IBSIM_TRACE(traceRc, rnic_.events().now(),
                 "qpn=" + std::to_string(qp_.qpn) + " moved to error: " +
                     verbs::wcStatusName(status));
+}
+
+void
+RcRequester::resume()
+{
+    pump();
 }
 
 } // namespace rnic

@@ -47,6 +47,12 @@ class RcRequester
     /** Flush everything with @p status and move the QP to error state. */
     void flushAll(verbs::WcStatus status);
 
+    /**
+     * Recovery re-arm finished (QP back to RTS): restart the send engine
+     * for any WRs queued while the CM handshake was in flight.
+     */
+    void resume();
+
   private:
     /** Transmit (or retransmit) one WQE's request packet. */
     void transmit(SendWqe& wqe);

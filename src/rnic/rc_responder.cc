@@ -22,6 +22,17 @@ RcResponder::RcResponder(Rnic& rnic, QpContext& qp) : rnic_(rnic), qp_(qp)
 }
 
 void
+RcResponder::resetForRecovery()
+{
+    parked_.reset();
+    parkedPagesLeft_ = 0;
+    seqNakSent_ = false;
+    sendSegsLanded_ = 0;
+    atomicCache_.clear();
+    atomicCacheOrder_.clear();
+}
+
+void
 RcResponder::onRequest(const net::Packet& pkt)
 {
     if (qp_.errorState)

@@ -35,6 +35,14 @@ class RcResponder
     /** Handle an inbound request (READ/WRITE/SEND/ATOMIC). */
     void onRequest(const net::Packet& pkt);
 
+    /**
+     * QP recovery (reset->init->RTR->RTS): discard responder-side state
+     * from the old reset epoch — the parked proactive request, the
+     * one-NAK-per-occurrence latch, partial SEND reassembly and the
+     * atomic replay cache all refer to the pre-reset PSN stream.
+     */
+    void resetForRecovery();
+
   private:
     /** Unreliable Connection service: no acks, no NAKs, losses silent. */
     void onUcRequest(const net::Packet& pkt);

@@ -55,6 +55,31 @@ struct RnicStats
      * table at send time instead of vanishing silently downstream.
      */
     std::uint64_t udUnroutedDrops = 0;
+
+    /** @{ Port-event / recovery accounting (DESIGN.md §13). */
+
+    /** PathDown/PortDown async events delivered to this port. */
+    std::uint64_t portDownEvents = 0;
+
+    /** PathUp/PortUp async events delivered to this port. */
+    std::uint64_t portUpEvents = 0;
+
+    /** SM-style reroutes applied to this port's QPs. */
+    std::uint64_t reroutes = 0;
+
+    /** QPs that entered the Error state (retry exhaustion / CM failure). */
+    std::uint64_t qpsEnteredError = 0;
+
+    /** QPs that completed the reset->init->RTR->RTS re-arm. */
+    std::uint64_t qpsRecovered = 0;
+
+    /** Ingress packets discarded for a stale reset epoch. */
+    std::uint64_t staleEpochDrops = 0;
+
+    /** CM re-arm requests sent (first sends + handshake retries). */
+    std::uint64_t cmRearmsSent = 0;
+
+    /** @} */
 };
 
 /**
@@ -123,6 +148,33 @@ class Rnic : public net::PortHandler
     /** Fabric ingress. */
     void receive(const net::Packet& pkt) override;
 
+    /** Async port/path events from the fabric's port-event model. */
+    void portEvent(const net::PortEvent& ev) override;
+
+    /**
+     * @{ ibv_async_event-style observer surface: taps fire for port/path
+     * events and for QP fatal/recovered transitions.
+     */
+    using AsyncEventTap = std::function<void(const verbs::AsyncEvent&)>;
+    void addAsyncEventTap(AsyncEventTap tap);
+    /** @} */
+
+    /**
+     * A QP just entered the Error state (called by RcRequester::flushAll
+     * after the flush completions are pushed). Counts the transition and
+     * raises the QpFatal async event.
+     */
+    void noteQpError(QpContext& qp);
+
+    /**
+     * Begin the DeviceProfile-gated recovery path for an Error-state QP:
+     * reset -> init (CM re-arm handshake with the peer under a new reset
+     * epoch) -> RTR -> RTS. No-op unless the QP is in Error. Normally
+     * triggered by a PathUp event with profile().qpRecoveryOnPortUp set;
+     * public so tests and harnesses can re-arm explicitly.
+     */
+    void startRecovery(QpContext& qp);
+
     /**
      * Egress helper for the RC engines: stamps source/destination fields
      * from @p qp and hands the packet to the fabric.
@@ -188,6 +240,18 @@ class Rnic : public net::PortHandler
      */
     bool validPacket(const net::Packet& pkt) const;
 
+    /** @{ Error/recovery machinery (DESIGN.md §13). */
+    void fireAsyncEvent(verbs::AsyncEventType type, std::uint16_t peer_lid,
+                        std::uint32_t qpn, bool redundant);
+    void sendCmRearm(QpContext& qp);
+    void armCmTimer(QpContext& qp);
+    void disarmCmTimer(QpContext& qp);
+    void cmTimerFired(std::uint32_t qpn);
+    void onCmRearm(QpRecord& record, const net::Packet& pkt);
+    void onCmRearmAck(QpRecord& record, const net::Packet& pkt);
+    void finishRecovery(QpContext& qp);
+    /** @} */
+
     EventQueue& events_;
     Rng& rng_;
     net::Fabric& fabric_;
@@ -218,6 +282,7 @@ class Rnic : public net::PortHandler
 
     std::vector<SendPostTap> sendPostTaps_;
     std::vector<RecvPostTap> recvPostTaps_;
+    std::vector<AsyncEventTap> asyncEventTaps_;
     std::size_t activeQps_ = 0;
     RnicStats stats_;
 };

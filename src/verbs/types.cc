@@ -43,6 +43,30 @@ wcStatusName(WcStatus status)
     return "?";
 }
 
+const char*
+asyncEventName(AsyncEventType type)
+{
+    switch (type) {
+      case AsyncEventType::PortActive: return "PORT_ACTIVE";
+      case AsyncEventType::PortError: return "PORT_ERR";
+      case AsyncEventType::PathActive: return "PATH_ACTIVE";
+      case AsyncEventType::PathError: return "PATH_ERR";
+      case AsyncEventType::QpFatal: return "QP_FATAL";
+      case AsyncEventType::QpRecovered: return "QP_RECOVERED";
+    }
+    return "?";
+}
+
+std::string
+AsyncEvent::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "event %s lid=%u peer=%u qpn=%u t=%s",
+                  asyncEventName(type), lid, peerLid, qpn,
+                  at.str().c_str());
+    return buf;
+}
+
 std::string
 WorkCompletion::str() const
 {

@@ -61,6 +61,40 @@ const char* wrOpcodeName(WrOpcode op);
 const char* wcStatusName(WcStatus status);
 
 /**
+ * Async event classes (ibv_event_type subset). Port/path events are
+ * raised by the fabric's port-event model (net::PortEvent) and forwarded
+ * by the RNIC; QP events are raised by the RNIC's own error/recovery
+ * machinery.
+ */
+enum class AsyncEventType : std::uint8_t
+{
+    PortActive,   ///< IBV_EVENT_PORT_ACTIVE
+    PortError,    ///< IBV_EVENT_PORT_ERR
+    PathActive,   ///< path (mesh link) to peerLid recovered
+    PathError,    ///< path (mesh link) to peerLid cut
+    QpFatal,      ///< IBV_EVENT_QP_FATAL: a QP entered the Error state
+    QpRecovered,  ///< a QP completed the reset->init->RTR->RTS re-arm
+};
+
+const char* asyncEventName(AsyncEventType type);
+
+/**
+ * An asynchronous event (ibv_async_event analogue) delivered to taps
+ * registered with rnic::Rnic::addAsyncEventTap().
+ */
+struct AsyncEvent
+{
+    AsyncEventType type = AsyncEventType::PortError;
+    std::uint16_t lid = 0;      ///< local port the event concerns
+    std::uint16_t peerLid = 0;  ///< far end (path/QP events; 0 otherwise)
+    std::uint32_t qpn = 0;      ///< affected QP (QP events; 0 otherwise)
+    bool redundantPath = false; ///< path events: reroute was possible
+    Time at;
+
+    std::string str() const;
+};
+
+/**
  * A completion queue entry.
  */
 struct WorkCompletion
