@@ -54,6 +54,10 @@ struct CapacityResult
     std::uint64_t maxClockLagNs = 0;
     double busyMean = 0;
     double busyMin = 0;
+    std::uint64_t triggerExits = 0;
+    std::uint64_t drainAborts = 0;
+    std::uint64_t roundsSkipped = 0;
+    std::uint64_t readyDepth = 0;
 };
 
 /**
@@ -101,7 +105,6 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
     };
     std::vector<Pair> setup(pairs);
     std::vector<verbs::QueuePair> flows;
-    std::vector<verbs::CompletionQueue*> cqs;
     flows.reserve(qps);
 
     const auto profile = rnic::DeviceProfile::connectX4();
@@ -121,7 +124,6 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
         for (Node* plane : pr.planes) {
             auto& ccq = plane->createCq();
             pcqs.push_back(&ccq);
-            cqs.push_back(&ccq);
             const std::uint64_t dst = plane->alloc(bytes);
             auto& cmr = plane->registerMemory(
                 dst, bytes, verbs::AccessFlags::odp());
@@ -150,12 +152,6 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
             }
         }
     };
-    const auto completions = [&] {
-        std::uint64_t done = 0;
-        for (auto* cq : cqs)
-            done += cq->totalCompletions();
-        return done;
-    };
     const std::uint64_t perWave = qps * ops_per_wave;
 
     // The monitor's egress tap hashes every packet from construction on,
@@ -163,10 +159,13 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
     // datapath.
     std::unique_ptr<chaos::InvariantMonitor> monitor;
 
+    // Trigger-based waits: only clients post, so server CQs stay at
+    // zero and the cluster-wide count equals the client-CQ sum. Island
+    // cells exit through the kernel's per-island completion triggers
+    // (no per-quiesce CQ re-poll); single-queue cells poll as before.
     const auto start = Clock::now();
     postWave(0);
-    cluster.runUntil([&] { return completions() >= perWave; },
-                     Time::sec(600));
+    cluster.runUntilCompletions(perWave, Time::sec(600));
     if (audit) {
         monitor = std::make_unique<chaos::InvariantMonitor>(
             cluster.fabric());
@@ -174,8 +173,8 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
     }
     postWave(1);
     CapacityResult result;
-    result.completed = cluster.runUntil(
-        [&] { return completions() >= 2 * perWave; }, Time::sec(600));
+    result.completed =
+        cluster.runUntilCompletions(2 * perWave, Time::sec(600));
     const auto stop = Clock::now();
 
     if (monitor)
@@ -195,6 +194,10 @@ runCapacityTrial(std::size_t qps, std::size_t pairs,
         result.islandEventsMin = ks.minIslandExecuted;
         result.steals = ks.steals;
         result.maxClockLagNs = ks.maxClockLagNs;
+        result.triggerExits = ks.triggerExits;
+        result.drainAborts = ks.drainAborts;
+        result.roundsSkipped = ks.roundsSkipped;
+        result.readyDepth = ks.maxReadyQueueDepth;
         if (!ks.workerBusyFraction.empty()) {
             double sum = 0, mn = ks.workerBusyFraction.front();
             for (const double f : ks.workerBusyFraction) {
@@ -359,7 +362,15 @@ registerFloodCapacity(exp::Registry& registry)
                          .set("max_clock_lag_ns",
                               static_cast<double>(r.maxClockLagNs))
                          .set("busy_mean", r.busyMean)
-                         .set("busy_min", r.busyMin);
+                         .set("busy_min", r.busyMin)
+                         .set("trigger_exits",
+                              static_cast<double>(r.triggerExits))
+                         .set("drain_aborts",
+                              static_cast<double>(r.drainAborts))
+                         .set("rounds_skipped",
+                              static_cast<double>(r.roundsSkipped))
+                         .set("ready_depth",
+                              static_cast<double>(r.readyDepth));
                  });
 
              auto psink = local.sink("flood_capacity_parallel");
@@ -375,6 +386,10 @@ registerFloodCapacity(exp::Registry& registry)
                            "chan_pkts"),
                   exp::col("imbalance", exp::Stat::Mean, 2, "imbalance"),
                   exp::col("steals", exp::Stat::Mean, 0, "steals"),
+                  exp::col("trigger_exits", exp::Stat::Mean, 0,
+                           "trig_exit"),
+                  exp::col("ready_depth", exp::Stat::Mean, 0,
+                           "ready_q"),
                   exp::col("max_clock_lag_ns", exp::Stat::Mean, 0,
                            "lag_ns"),
                   exp::col("busy_mean", exp::Stat::Mean, 2, "busy_mean"),
@@ -387,7 +402,10 @@ registerFloodCapacity(exp::Registry& registry)
                  "pairwise channel clocks, work-stealing scheduler.\n"
                  "jobs=1 runs the windowed algorithm inline (the "
                  "sequential reference); every jobs>1\nrun is "
-                 "bit-identical to it. steals / lag_ns / busy_* are "
+                 "bit-identical to it. Waves wait via per-island "
+                 "completion triggers\n(runUntilCompletions): trig_exit "
+                 "counts runs that stopped inside a worker pass.\n"
+                 "steals / lag_ns / busy_* / ready_q / drain_aborts are "
                  "wall-clock scheduler\nobservability, not part of the "
                  "deterministic surface.");
          }});

@@ -26,6 +26,7 @@ registerAllBenches(exp::Registry& registry)
     registerChaosProbe(registry);
     registerFloodCapacity(registry);
     registerAtomicReplayThrash(registry);
+    registerScaleSmoke(registry);
 }
 
 } // namespace bench

@@ -35,6 +35,7 @@ void registerSimcoreMicro(exp::Registry& registry);
 void registerChaosProbe(exp::Registry& registry);
 void registerFloodCapacity(exp::Registry& registry);
 void registerAtomicReplayThrash(exp::Registry& registry);
+void registerScaleSmoke(exp::Registry& registry);
 
 /** Register the full suite, in paper order. */
 void registerAllBenches(exp::Registry& registry);

@@ -21,6 +21,7 @@ Cluster::Cluster(rnic::DeviceProfile profile, std::size_t node_count,
         const Time lookahead = link.latency + link.perPacketOverhead;
         kernel_ = std::make_unique<ShardedKernel>(lookahead, options.jobs,
                                                   options.scheduleMode);
+        kernel_->setStealPolicy(options.stealPolicy);
         fabric_.enableSharding(*kernel_);
     }
     for (std::size_t i = 0; i < node_count; ++i)
@@ -173,6 +174,37 @@ Cluster::portEventSummary()
     }
     s.gateDrops = fabric_.totalPortEventDrops();
     return s;
+}
+
+std::uint64_t
+Cluster::totalCompletions() const
+{
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_)
+        total += node->totalCompletions();
+    return total;
+}
+
+bool
+Cluster::runUntilCompletions(std::uint64_t target, Time limit)
+{
+    if (!kernel_) {
+        // The historical single-queue path: poll after each event. Its
+        // traceHash goldens pin this byte-for-byte.
+        return events_.runUntil(
+            [&] { return totalCompletions() >= target; }, limit);
+    }
+    // Top up the per-node trigger set (node i lives on island i; planes
+    // are their own islands, so each plane's CQs count on its island).
+    // Counters read through the Node, so CQs created after registration
+    // are still counted.
+    while (nodesWithTriggers_ < nodes_.size()) {
+        Node* node = nodes_[nodesWithTriggers_].get();
+        kernel_->addTrigger(nodesWithTriggers_,
+                            [node] { return node->totalCompletions(); });
+        ++nodesWithTriggers_;
+    }
+    return kernel_->runUntilTriggered(target, limit);
 }
 
 std::pair<verbs::QueuePair, verbs::QueuePair>

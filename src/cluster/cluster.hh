@@ -59,6 +59,11 @@ struct ClusterOptions
      * lets idle workers claim hot islands at window granularity, Static
      * pins contiguous island blocks per worker (the PR-6 fallback). */
     ScheduleMode scheduleMode = ScheduleMode::Stealing;
+
+    /** How Stealing finds runnable islands: the sharded ready queue
+     * (default) or the round-two O(islands) claim scan (kept as a
+     * bench/differential reference; content is policy-invariant). */
+    StealPolicy stealPolicy = StealPolicy::ReadyQueue;
 };
 
 /**
@@ -150,6 +155,27 @@ class Cluster
         return kernel_ ? kernel_->run(limit) : events_.run(limit);
     }
 
+    /** Completions delivered across every node's CQs, summed. */
+    std::uint64_t totalCompletions() const;
+
+    /**
+     * Run until the cluster-wide completion count reaches @p target —
+     * the trigger-based fast path for the most common runUntil shape.
+     *
+     * In island mode this registers one monotone per-node trigger
+     * counter with the kernel (cluster code owns the kernel's trigger
+     * set) and exits via runUntilTriggered(): satisfaction is detected
+     * inside the worker pass right after the crossing window retires,
+     * instead of re-polling every CQ at each quiesce. Stop time, trace
+     * hash and oracle verdicts are bit-identical to the polling
+     * equivalent `runUntil([&]{ return totalCompletions() >= target; })`
+     * at any jobs count and schedule mode. Single-queue mode uses
+     * exactly that polling equivalent (its goldens are untouched).
+     * @return true if the target was reached.
+     */
+    bool runUntilCompletions(std::uint64_t target,
+                             Time limit = Time::max());
+
     /** Events executed so far (summed over islands when sharded). */
     std::uint64_t
     eventsExecuted() const
@@ -208,6 +234,9 @@ class Cluster
     net::Fabric fabric_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::uint16_t nextLid_ = 1;
+    /** Nodes whose completion trigger is registered with the kernel
+     * (runUntilCompletions tops this up lazily; node i == island i). */
+    std::size_t nodesWithTriggers_ = 0;
 };
 
 } // namespace ibsim

@@ -65,6 +65,15 @@ Node::createCq()
     return *cqs_.back();
 }
 
+std::uint64_t
+Node::totalCompletions() const
+{
+    std::uint64_t total = 0;
+    for (const auto& cq : cqs_)
+        total += cq->totalCompletions();
+    return total;
+}
+
 verbs::QueuePair
 Node::createQp(verbs::CompletionQueue& cq, verbs::QpConfig config)
 {

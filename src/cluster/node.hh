@@ -68,6 +68,13 @@ class Node
     /** Create a completion queue. */
     verbs::CompletionQueue& createCq();
 
+    /**
+     * Completions delivered on this node's CQs since creation, summed.
+     * Monotone under execution — the island-local trigger counter the
+     * cluster registers for trigger-based runUntil (DESIGN.md §12.c).
+     */
+    std::uint64_t totalCompletions() const;
+
     /** Create an RC QP bound to @p cq. */
     verbs::QueuePair createQp(verbs::CompletionQueue& cq,
                               verbs::QpConfig config = {});

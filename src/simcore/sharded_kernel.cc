@@ -135,6 +135,26 @@ ShardedKernel::setWindowsPerRound(unsigned windows)
 {
     assert(windows > 0);
     windowsPerRound_ = windows;
+    windowsPinned_ = true;  // an explicit length disables adaptation
+}
+
+std::size_t
+ShardedKernel::addTrigger(std::size_t island, TriggerCount count)
+{
+    assert(island < islands_.size());
+    triggers_.push_back(Trigger{island, std::move(count), 0});
+    islands_[island].trig.push_back(
+        static_cast<std::uint32_t>(triggers_.size() - 1));
+    return triggers_.size() - 1;
+}
+
+void
+ShardedKernel::clearTriggers()
+{
+    triggers_.clear();
+    for (Island& is : islands_)
+        is.trig.clear();
+    trigArmed_.store(false, std::memory_order_relaxed);
 }
 
 void
@@ -157,9 +177,16 @@ ShardedKernel::rebuildNeighbors()
     for (std::size_t i = 0; i < n; ++i) {
         Island& is = islands_[i];
         is.inNbr.clear();
+        is.outNbr.clear();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-            if (j != i && hasEdge(j, i))
-                is.inNbr.push_back(static_cast<std::uint32_t>(j));
+            if (j != i && hasEdge(j, i)) {
+                islands_[i].inNbr.push_back(
+                    static_cast<std::uint32_t>(j));
+                islands_[j].outNbr.push_back(
+                    static_cast<std::uint32_t>(i));
+            }
         }
     }
 }
@@ -173,8 +200,10 @@ ShardedKernel::startWorkers()
     jobs_ = static_cast<unsigned>(std::min<std::size_t>(
         jobs_, std::max<std::size_t>(1, islands_.size())));
     rebuildNeighbors();
-    for (unsigned w = 0; w < jobs_; ++w)
+    for (unsigned w = 0; w < jobs_; ++w) {
         workers_.emplace_back();
+        ready_.emplace_back();
+    }
     for (unsigned w = 1; w < jobs_; ++w)
         workers_[w].thread = std::thread([this, w] { workerLoop(w); });
 }
@@ -211,10 +240,11 @@ ShardedKernel::inboundEarliest(std::size_t i) const
 }
 
 ShardedKernel::Step
-ShardedKernel::stepIsland(unsigned, std::size_t i, Time round_limit)
+ShardedKernel::stepIsland(unsigned worker, std::size_t i, Time round_limit)
 {
     Island& is = islands_[i];
     EventQueue& q = *is.queue;
+    const std::int64_t l = lookahead_.toNs();
     bool advanced = false;
     for (;;) {
         Time done = Time::fromNs(is.done.load(std::memory_order_relaxed));
@@ -244,9 +274,15 @@ ShardedKernel::stepIsland(unsigned, std::size_t i, Time round_limit)
                 is.maxLagNs = std::max(
                     is.maxLagNs, static_cast<std::uint64_t>(
                                      (round_limit - safe).toNs()));
+                // Unblocks once the min in-neighbor clock passes
+                // done - L (safeHorizon > done).
+                is.wakeAt.store(done.toNs() - l + 1,
+                                std::memory_order_relaxed);
                 return advanced ? Step::Advanced : Step::Blocked;
             }
             is.done.store(target.toNs(), std::memory_order_release);
+            if (useReady_)
+                wakeOutNeighbors(worker, i, target.toNs());
             advanced = true;
             if (target == round_limit) {
                 is.roundDone.store(true, std::memory_order_relaxed);
@@ -268,13 +304,23 @@ ShardedKernel::stepIsland(unsigned, std::size_t i, Time round_limit)
                 is.maxLagNs = std::max(
                     is.maxLagNs,
                     static_cast<std::uint64_t>((runLimit - safe).toNs()));
+                // Unblocks once the window is safe (min in-neighbor
+                // clock >= runLimit - L).
+                is.wakeAt.store(runLimit.toNs() - l,
+                                std::memory_order_relaxed);
                 return advanced ? Step::Advanced : Step::Blocked;
             }
             is.done.store(target.toNs(), std::memory_order_release);
+            if (useReady_)
+                wakeOutNeighbors(worker, i, target.toNs());
             advanced = true;
             continue;
         }
 
+        // The drain token reads dirty under this island's claim, so
+        // marking before the window's pushes keeps "clean" an honest
+        // "no activity since the last visit".
+        is.dirty.store(true, std::memory_order_relaxed);
         std::uint64_t parcels = 0;
         for (BarrierAgent* agent : agents_)
             parcels += agent->flushInbound(i, done, runLimit);
@@ -282,7 +328,14 @@ ShardedKernel::stepIsland(unsigned, std::size_t i, Time round_limit)
         q.run(runLimit);
         q.syncClock(runLimit);
         is.done.store(runLimit.toNs(), std::memory_order_release);
+        if (useReady_)
+            wakeOutNeighbors(worker, i, runLimit.toNs());
         ++is.windows;
+        if (jobs_ == 1)
+            ++seqWindowsRound_;
+        if (!is.trig.empty() &&
+            trigArmed_.load(std::memory_order_relaxed))
+            noteTriggers(is);
         advanced = true;
         if (runLimit == round_limit) {
             is.roundDone.store(true, std::memory_order_relaxed);
@@ -293,7 +346,33 @@ ShardedKernel::stepIsland(unsigned, std::size_t i, Time round_limit)
 }
 
 void
+ShardedKernel::noteTriggers(Island& is)
+{
+    for (std::uint32_t t : is.trig) {
+        Trigger& trig = triggers_[t];
+        const std::uint64_t cur = trig.count();
+        if (cur <= trig.lastSeen)
+            continue;  // monotone counters only move forward
+        const std::uint64_t delta = cur - trig.lastSeen;
+        trig.lastSeen = cur;
+        const std::uint64_t sum =
+            trigSum_.fetch_add(delta, std::memory_order_relaxed) + delta;
+        if (sum >= trigTarget_)
+            trigFired_.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
 ShardedKernel::workerRound(unsigned worker)
+{
+    if (useReady_)
+        workerRoundReady(worker);
+    else
+        workerRoundScan(worker);
+}
+
+void
+ShardedKernel::workerRoundScan(unsigned worker)
 {
     using clock = std::chrono::steady_clock;
     const auto roundStart = clock::now();
@@ -311,7 +390,10 @@ ShardedKernel::workerRound(unsigned worker)
                          : static_cast<std::size_t>(worker + 1) * n / jobs_;
 
     for (;;) {
+        if (roundAbort_.load(std::memory_order_acquire))
+            break;
         bool progress = false;
+        const std::uint64_t windowsBefore = seqWindowsRound_;
         for (std::size_t s = lo; s < hi; ++s) {
             const std::size_t i = stealing ? s % n : s;
             Island& is = islands_[i];
@@ -349,6 +431,21 @@ ShardedKernel::workerRound(unsigned worker)
         }
         if (doneCount_.load(std::memory_order_acquire) >= n)
             break;
+        if (jobs_ == 1) {
+            // Sequential drain probe: a pass that advanced clocks but
+            // executed no window is the pure-leapfrog drain tail — cut
+            // it the moment nothing at or below the round limit
+            // remains (no races to worry about inline).
+            if (seqWindowsRound_ == windowsBefore &&
+                allQuietBelow(roundLimit_)) {
+                drainAborts_.fetch_add(1, std::memory_order_relaxed);
+                roundAbort_.store(true, std::memory_order_relaxed);
+                break;
+            }
+        } else if (stealing && !progress) {
+            if (tryTokenPass())
+                break;
+        }
         if (!progress)
             std::this_thread::yield();
     }
@@ -356,6 +453,229 @@ ShardedKernel::workerRound(unsigned worker)
     Worker& me = workers_[worker];
     me.busyNs += busy;
     me.totalNs += elapsedNs(roundStart, clock::now());
+}
+
+void
+ShardedKernel::pushReady(unsigned worker, std::uint32_t island)
+{
+    ReadyShard& shard = ready_[worker];
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.q.push_back(island);
+    shard.maxDepth = std::max<std::uint64_t>(shard.maxDepth,
+                                             shard.q.size());
+}
+
+bool
+ShardedKernel::popReady(unsigned worker, std::uint32_t& island)
+{
+    {
+        // Own shard: LIFO — the most recently woken island's channel
+        // state is the hottest in this worker's cache.
+        ReadyShard& own = ready_[worker];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+            island = own.q.back();
+            own.q.pop_back();
+            return true;
+        }
+    }
+    // Steal FIFO from the other shards (oldest entry = the one most
+    // likely to have accumulated runnable windows).
+    for (unsigned k = 1; k < jobs_; ++k) {
+        ReadyShard& other = ready_[(worker + k) % jobs_];
+        std::lock_guard<std::mutex> lock(other.m);
+        if (!other.q.empty()) {
+            island = other.q.front();
+            other.q.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+std::int64_t
+ShardedKernel::minInNeighborClockNs(const Island& is) const
+{
+    std::int64_t m = Time::max().toNs();
+    for (std::uint32_t nbr : is.inNbr) {
+        m = std::min(m,
+                     islands_[nbr].done.load(std::memory_order_acquire));
+    }
+    return m;
+}
+
+void
+ShardedKernel::wakeOutNeighbors(unsigned worker, std::size_t i,
+                                std::int64_t clock_ns)
+{
+    // Publisher side of the block-vs-wake handshake: clock store, then
+    // a full fence, then the sched reads — pairs with the blocker's
+    // Blocked store / fence / clock re-read (blockIsland()), so one of
+    // the two sides always observes the other.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (std::uint32_t o : islands_[i].outNbr) {
+        Island& t = islands_[o];
+        if (t.sched.load(std::memory_order_relaxed) != kSchedBlocked)
+            continue;
+        if (clock_ns < t.wakeAt.load(std::memory_order_relaxed))
+            continue;  // our clock alone cannot have unblocked it
+        std::uint8_t expect = kSchedBlocked;
+        if (t.sched.compare_exchange_strong(expect, kSchedReady,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed))
+            pushReady(worker, o);
+    }
+}
+
+void
+ShardedKernel::blockIsland(unsigned worker, std::uint32_t island)
+{
+    Island& is = islands_[island];
+    // stepIsland stored wakeAt before returning Blocked.
+    is.sched.store(kSchedBlocked, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Close the lost-wakeup window: a neighbor may have crossed the
+    // threshold between our block decision and the Blocked store.
+    if (minInNeighborClockNs(is) >=
+        is.wakeAt.load(std::memory_order_relaxed)) {
+        std::uint8_t expect = kSchedBlocked;
+        if (is.sched.compare_exchange_strong(expect, kSchedReady,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed))
+            pushReady(worker, island);
+    }
+}
+
+void
+ShardedKernel::workerRoundReady(unsigned worker)
+{
+    using clock = std::chrono::steady_clock;
+    const auto roundStart = clock::now();
+    std::uint64_t busy = 0;
+    const std::size_t n = islands_.size();
+
+    // progress = some pop advanced an island since the last idle
+    // rescan; without it the worker yields before rescanning again
+    // (the rescan itself re-enqueues still-blocked islands, so it must
+    // not count as progress or an idle pair of workers would spin).
+    bool progress = false;
+    for (;;) {
+        if (roundAbort_.load(std::memory_order_acquire))
+            break;
+        std::uint32_t idx;
+        if (popReady(worker, idx)) {
+            Island& is = islands_[idx];
+            std::uint8_t expect = 0;
+            if (!is.claim.compare_exchange_strong(
+                    expect, 1, std::memory_order_acquire,
+                    std::memory_order_relaxed)) {
+                // The drain token is inspecting it; hand it back.
+                pushReady(worker, idx);
+                std::this_thread::yield();
+                continue;
+            }
+            is.sched.store(kSchedRunning, std::memory_order_relaxed);
+            const auto t0 = clock::now();
+            const Step step = stepIsland(worker, idx, roundLimit_);
+            if (step != Step::Blocked) {
+                busy += elapsedNs(t0, clock::now());
+                progress = true;
+                if (is.lastWorker != kNoWorker && is.lastWorker != worker)
+                    steals_.fetch_add(1, std::memory_order_relaxed);
+                is.lastWorker = worker;
+            }
+            if (step == Step::RoundDone) {
+                is.sched.store(kSchedDone, std::memory_order_relaxed);
+                is.claim.store(0, std::memory_order_release);
+            } else {
+                is.claim.store(0, std::memory_order_release);
+                blockIsland(worker, idx);
+            }
+            continue;
+        }
+        if (doneCount_.load(std::memory_order_acquire) >= n)
+            break;
+        // Idle: advance the drain token, then the wake-miss safety net
+        // — re-enqueue every still-blocked island (covers dense-island
+        // wakes, which are deliberately not fanned out per publish, and
+        // inbound work that arrived below a stale wake threshold).
+        if (tryTokenPass())
+            break;
+        if (!progress)
+            std::this_thread::yield();
+        progress = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            Island& is = islands_[i];
+            if (is.sched.load(std::memory_order_relaxed) != kSchedBlocked)
+                continue;
+            std::uint8_t expect = kSchedBlocked;
+            if (is.sched.compare_exchange_strong(expect, kSchedReady,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed))
+                pushReady(worker, static_cast<std::uint32_t>(i));
+        }
+    }
+
+    Worker& me = workers_[worker];
+    me.busyNs += busy;
+    me.totalNs += elapsedNs(roundStart, clock::now());
+}
+
+bool
+ShardedKernel::tryTokenPass()
+{
+    if (roundAbort_.load(std::memory_order_acquire))
+        return true;
+    if (!useToken_)
+        return false;
+    if (tokenBusy_.exchange(true, std::memory_order_acquire))
+        return false;  // another worker is carrying the token
+    const std::size_t n = islands_.size();
+    // Two consecutive fully-clean circuits prove the round tail empty:
+    // a single circuit can miss an island that pushed *after* its
+    // visit, but the pusher's dirty flag survives into the next
+    // circuit (DESIGN.md §12.c has the induction).
+    const std::uint32_t needed = static_cast<std::uint32_t>(2 * n);
+    for (std::size_t visits = 0; visits < n && tokenClean_ < needed;
+         ++visits) {
+        Island& is = islands_[tokenPos_];
+        std::uint8_t expect = 0;
+        if (!is.claim.compare_exchange_strong(expect, 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+            // Someone is executing it — activity; retry here later.
+            tokenClean_ = 0;
+            break;
+        }
+        bool clean = !is.dirty.exchange(false, std::memory_order_acq_rel);
+        if (clean)
+            clean = is.queue->nextEventTime() > roundLimit_;
+        if (clean)
+            clean = inboundEarliest(tokenPos_) > roundLimit_;
+        is.claim.store(0, std::memory_order_release);
+        tokenClean_ = clean ? tokenClean_ + 1 : 0;
+        tokenPos_ = (tokenPos_ + 1) % static_cast<std::uint32_t>(n);
+    }
+    bool fired = false;
+    if (tokenClean_ >= needed) {
+        fired = true;
+        drainAborts_.fetch_add(1, std::memory_order_relaxed);
+        roundAbort_.store(true, std::memory_order_release);
+    }
+    tokenBusy_.store(false, std::memory_order_release);
+    return fired;
+}
+
+bool
+ShardedKernel::allQuietBelow(Time t) const
+{
+    for (std::size_t i = 0; i < islands_.size(); ++i) {
+        if (islands_[i].queue->nextEventTime() <= t)
+            return false;
+        if (inboundEarliest(i) <= t)
+            return false;
+    }
+    return true;
 }
 
 void
@@ -384,9 +704,33 @@ void
 ShardedKernel::dispatchRound(Time init_done, Time round_limit)
 {
     roundLimit_ = round_limit;
+    roundAbort_.store(false, std::memory_order_relaxed);
+    tokenPos_ = 0;
+    tokenClean_ = 0;
+    seqWindowsRound_ = 0;
     for (Island& is : islands_) {
         is.done.store(init_done.toNs(), std::memory_order_relaxed);
         is.roundDone.store(false, std::memory_order_relaxed);
+        is.dirty.store(false, std::memory_order_relaxed);
+    }
+    if (useReady_) {
+        // Seed each worker's shard with its static block — the same
+        // spread Static mode pins, so the first pops have affinity and
+        // workers fan out before the first steal.
+        const std::size_t n = islands_.size();
+        for (unsigned w = 0; w < jobs_; ++w)
+            ready_[w].q.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            islands_[i].sched.store(kSchedReady,
+                                    std::memory_order_relaxed);
+            const unsigned owner = static_cast<unsigned>(
+                i * static_cast<std::size_t>(jobs_) / n);
+            ready_[owner].q.push_back(static_cast<std::uint32_t>(i));
+        }
+        for (unsigned w = 0; w < jobs_; ++w) {
+            ready_[w].maxDepth = std::max<std::uint64_t>(
+                ready_[w].maxDepth, ready_[w].q.size());
+        }
     }
     doneCount_.store(0, std::memory_order_relaxed);
     if (jobs_ <= 1) {
@@ -446,9 +790,26 @@ ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
                        bool* pred_hit)
 {
     startWorkers();
+    useReady_ = mode_ == ScheduleMode::Stealing && jobs_ > 1 &&
+                stealPolicy_ == StealPolicy::ReadyQueue;
+    useToken_ = mode_ == ScheduleMode::Stealing && jobs_ > 1;
+    const bool trig = trigArmed_.load(std::memory_order_relaxed);
+    // Adaptive rounds apply only to predicate-free runs: for
+    // runUntil()/runUntilTriggered() the round boundary *is* the stop
+    // granularity, and the trigger and poll paths must stop at
+    // identical virtual times, so both keep the base length.
+    const bool adaptive = !windowsPinned_ && pred == nullptr && !trig;
+    unsigned roundWindows = windowsPerRound_;
     for (;;) {
         // Round boundaries are the quiesce points: every worker is
         // parked, all clocks agree, channels hold only future work.
+        if (trig && pred_hit != nullptr &&
+            trigFired_.load(std::memory_order_relaxed)) {
+            *pred_hit = true;
+            ++triggerExits_;
+            quiesceFlush(now_);
+            return false;
+        }
         if (pred != nullptr && (*pred)()) {
             *pred_hit = true;
             quiesceFlush(now_);
@@ -465,7 +826,7 @@ ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
             return false;
         }
 
-        // The round covers windowsPerRound grid windows starting at the
+        // The round covers roundWindows grid windows starting at the
         // slot holding the earliest pending work — idle gaps are jumped
         // here, globally and deterministically, instead of leapfrogged
         // window by window.
@@ -474,7 +835,7 @@ ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
         const Time roundStart = Time::fromNs(base.toNs() / l * l);
         const Time roundEnd = Time::fromNs(
             roundStart.toNs() +
-            l * static_cast<std::int64_t>(windowsPerRound_));
+            l * static_cast<std::int64_t>(roundWindows));
         const Time roundLimit = std::min(roundEnd - Time::ns(1), limit);
         Time initDone = std::max(roundStart - Time::ns(1), now_);
         if (initDone >= roundLimit) {
@@ -488,6 +849,20 @@ ShardedKernel::runCore(Time limit, const std::function<bool()>* pred,
         }
         dispatchRound(initDone, roundLimit);
         ++rounds_;
+        // A token abort is sound only when nothing at or below the
+        // round limit was skipped; the quiesced re-check is free here.
+        assert(!roundAbort_.load(std::memory_order_relaxed) ||
+               earliestPending() > roundLimit);
+        if (adaptive) {
+            // Every completed busy round doubles the next one (capped):
+            // long predicate-free drains quiesce O(log) instead of
+            // O(length / base) times. Derived from simulation-visible
+            // state only, so round placement stays jobs-invariant.
+            roundsSkipped_ += roundWindows / windowsPerRound_ - 1;
+            if (roundWindows < kMaxAdaptiveWindows)
+                roundWindows = std::min(kMaxAdaptiveWindows,
+                                        roundWindows * 2);
+        }
         syncClocks(roundLimit);
     }
 }
@@ -503,6 +878,28 @@ ShardedKernel::runUntil(const std::function<bool()>& pred, Time limit)
 {
     bool hit = false;
     runCore(limit, &pred, &hit);
+    return hit;
+}
+
+bool
+ShardedKernel::runUntilTriggered(std::uint64_t target, Time limit)
+{
+    startWorkers();
+    // Quiesced: seed every counter's absolute value so work retired
+    // before this call counts toward the target, exactly like the
+    // polling equivalent `runUntil([&]{ return sum() >= target; })`.
+    std::uint64_t sum = 0;
+    for (Trigger& t : triggers_) {
+        t.lastSeen = t.count();
+        sum += t.lastSeen;
+    }
+    trigSum_.store(sum, std::memory_order_relaxed);
+    trigTarget_ = target;
+    trigFired_.store(sum >= target, std::memory_order_relaxed);
+    trigArmed_.store(true, std::memory_order_relaxed);
+    bool hit = false;
+    runCore(limit, nullptr, &hit);
+    trigArmed_.store(false, std::memory_order_relaxed);
     return hit;
 }
 
@@ -541,6 +938,13 @@ ShardedKernel::kernelStats() const
     KernelStats s;
     s.barriers = rounds_;
     s.steals = steals_.load(std::memory_order_relaxed);
+    s.triggerExits = triggerExits_;
+    s.drainAborts = drainAborts_.load(std::memory_order_relaxed);
+    s.roundsSkipped = roundsSkipped_;
+    for (const ReadyShard& shard : ready_) {
+        s.maxReadyQueueDepth =
+            std::max(s.maxReadyQueueDepth, shard.maxDepth);
+    }
 
     // Aggregate per *logical* island: a split node's planes fold into
     // one entry (the machine they model), and logical ids that no

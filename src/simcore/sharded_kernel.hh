@@ -40,6 +40,27 @@
  * with no threads — the "sequential" reference the differential tests
  * compare against.
  *
+ * Round three (DESIGN.md §12.c) makes round boundaries the exception
+ * instead of the rule. Per-island *trigger counters* — monotone,
+ * island-local progress counts registered via addTrigger() — are folded
+ * into a global sum inside the worker pass right after each executed
+ * window, so runUntilTriggered() detects satisfaction the moment the
+ * crossing window retires and the quiesce check collapses to one flag
+ * read (the polling runUntil() stays as the fallback for opaque
+ * predicates; both stop at the same round boundary, so they are
+ * bit-identical). A Safra-style *drain token* walks the islands under
+ * their claim bytes and aborts the null-message leapfrog tail of a
+ * round once two consecutive clean circuits prove nothing at or below
+ * the round limit remains — a drained mesh stops after a handful of
+ * token visits instead of creeping clock windows to the round limit.
+ * The stealing scheduler's per-pass O(islands) claim scan is replaced
+ * by a sharded *ready queue* (islands enqueue when an in-neighbor clock
+ * publish crosses their recorded wake threshold; workers pop LIFO from
+ * their own shard and steal FIFO from others), and `windowsPerRound`
+ * *adapts* — predicate-free runs double the round length up to a cap,
+ * purely from simulation-visible state, so long drains quiesce
+ * logarithmically rather than linearly often.
+ *
  * What the kernel deliberately does not do: share any RNG, wire-id
  * counter or packet pool between islands (the fabric forks all three per
  * island), or interleave same-timestamp events across islands the way a
@@ -57,6 +78,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -72,6 +94,15 @@ enum class ScheduleMode : std::uint8_t
     Static,
     /** Idle workers claim any runnable island at window granularity. */
     Stealing,
+};
+
+/** How Stealing mode finds runnable islands (never *what* they run). */
+enum class StealPolicy : std::uint8_t
+{
+    /** Sharded ready queue: wake-driven, O(1) pops (the default). */
+    ReadyQueue,
+    /** The round-two per-pass O(islands) claim scan (bench reference). */
+    ScanLegacy,
 };
 
 /**
@@ -187,9 +218,53 @@ class ShardedKernel
     std::size_t logicalIslandCount() const;
     /** @} */
 
-    /** Windows per round (the quiesce/steal-rebalance granularity). */
+    /**
+     * Pin the round length (the quiesce/steal-rebalance granularity).
+     * Calling this disables adaptive rounds: predicate-free runs
+     * otherwise double the round length per busy round (up to
+     * kMaxAdaptiveWindows) so long drains quiesce logarithmically
+     * often. runUntil()/runUntilTriggered() always use the base length
+     * — the round boundary is their stop granularity, and trigger and
+     * poll paths must stop at identical times.
+     */
     void setWindowsPerRound(unsigned windows);
     unsigned windowsPerRound() const { return windowsPerRound_; }
+
+    /** Adaptive round-length cap for predicate-free runs. */
+    static constexpr unsigned kMaxAdaptiveWindows = 256;
+
+    /** Stealing-mode island lookup policy (content is policy-invariant). */
+    void setStealPolicy(StealPolicy policy) { stealPolicy_ = policy; }
+    StealPolicy stealPolicy() const { return stealPolicy_; }
+
+    /** @{ Per-island trigger counters — the runUntil fast path.
+     *
+     * A trigger is a monotone (non-decreasing under simulated
+     * execution) counter that reads only @p island's state — e.g. a
+     * CQ's total completion count, or "work requests retired on this
+     * QP". The worker executing the island re-reads it after every
+     * executed window and folds the delta into a global sum, so
+     * runUntilTriggered(target) detects `sum >= target` inside the
+     * worker pass, the moment the crossing window retires. The run
+     * still stops at the next round boundary (run-ahead makes
+     * mid-round truncation non-deterministic — DESIGN.md §12.c), which
+     * is exactly where the polling fallback
+     * `runUntil([&]{ return sum() >= target; })` stops too: the two
+     * are bit-identical, triggers just replace the O(islands) quiesce
+     * poll with one flag read and give the drain token a satisfied
+     * round tail to abort. Registration is only legal while the kernel
+     * is quiesced (also *between* runs — counters re-seed per call). */
+    using TriggerCount = std::function<std::uint64_t()>;
+    std::size_t addTrigger(std::size_t island, TriggerCount count);
+    void clearTriggers();
+    std::size_t triggerCount() const { return triggers_.size(); }
+
+    /**
+     * Run until the registered trigger counters sum to >= @p target.
+     * @return true if the target was reached (false = limit cut).
+     */
+    bool runUntilTriggered(std::uint64_t target, Time limit = Time::max());
+    /** @} */
 
     /** Register / remove a channel holder (fabric, monitor, ...). */
     void addBarrierAgent(BarrierAgent* agent);
@@ -224,10 +299,11 @@ class ShardedKernel
     /**
      * Sharding observability: round/window counts, channel traffic, the
      * per-logical-island event-count spread (imbalance is what caps the
-     * parallel speedup), and scheduler behaviour. steals, maxClockLagNs
-     * and workerBusyFraction describe the *schedule*, which is timing-
-     * dependent — they are not part of the deterministic surface the
-     * differential tests compare.
+     * parallel speedup), and scheduler behaviour. steals, maxClockLagNs,
+     * workerBusyFraction, drainAborts and maxReadyQueueDepth describe
+     * the *schedule*, which is timing-dependent — they are not part of
+     * the deterministic surface the differential tests compare
+     * (triggerExits and roundsSkipped are deterministic).
      */
     struct KernelStats
     {
@@ -236,6 +312,10 @@ class ShardedKernel
         std::uint64_t channelParcels = 0;  ///< cross-island items flushed
         std::uint64_t steals = 0;          ///< cross-worker island claims
         std::uint64_t maxClockLagNs = 0;   ///< worst blocked-island lag
+        std::uint64_t triggerExits = 0;    ///< runs exited via trigger flag
+        std::uint64_t drainAborts = 0;     ///< round tails cut by the token
+        std::uint64_t roundsSkipped = 0;   ///< quiesces adaptive rounds saved
+        std::uint64_t maxReadyQueueDepth = 0;  ///< deepest ready shard seen
         std::vector<std::uint64_t> executedPerIsland;  ///< logical islands
         std::uint64_t maxIslandExecuted = 0;
         std::uint64_t minIslandExecuted = 0;
@@ -251,6 +331,15 @@ class ShardedKernel
     /** "No worker has executed this island yet" (steal detection). */
     static constexpr std::uint32_t kNoWorker = 0xffffffffu;
 
+    /** @{ Ready-queue scheduling states (Island::sched). An island is
+     * in exactly one ready shard while kSchedReady (enqueue goes
+     * through a Blocked->Ready CAS, so there is a single winner). */
+    static constexpr std::uint8_t kSchedBlocked = 0;  ///< waiting on a wake
+    static constexpr std::uint8_t kSchedReady = 1;    ///< in a ready shard
+    static constexpr std::uint8_t kSchedRunning = 2;  ///< popped, executing
+    static constexpr std::uint8_t kSchedDone = 3;     ///< round finished
+    /** @} */
+
     /** Per-island execution state. done is the published channel clock. */
     struct alignas(64) Island
     {
@@ -258,11 +347,34 @@ class ShardedKernel
         std::atomic<std::int64_t> done{0};
         std::atomic<std::uint8_t> claim{0};
         std::atomic<bool> roundDone{false};
+        std::atomic<std::uint8_t> sched{kSchedBlocked};  ///< ready-queue state
+        std::atomic<bool> dirty{false};  ///< executed since last token visit
+        /** Min in-neighbor clock (ns) that would unblock this island. */
+        std::atomic<std::int64_t> wakeAt{0};
         std::uint32_t lastWorker = kNoWorker;  ///< steal detection (under claim)
         std::vector<std::uint32_t> inNbr;  ///< in-neighbor island indices
+        std::vector<std::uint32_t> outNbr;  ///< out-neighbor island indices
+        std::vector<std::uint32_t> trig;  ///< indices into triggers_
         std::uint64_t windows = 0;       ///< windows executed (under claim)
         std::uint64_t parcels = 0;       ///< items flushed (under claim)
         std::uint64_t maxLagNs = 0;      ///< worst blocked lag (under claim)
+    };
+
+    /** A monotone island-local progress counter (addTrigger()). */
+    struct Trigger
+    {
+        std::size_t island;
+        TriggerCount count;
+        /** Last value folded into trigSum_ (owned by i's executor). */
+        std::uint64_t lastSeen = 0;
+    };
+
+    /** One worker's shard of the ready queue (Stealing + ReadyQueue). */
+    struct alignas(64) ReadyShard
+    {
+        std::mutex m;
+        std::deque<std::uint32_t> q;
+        std::uint64_t maxDepth = 0;  ///< observability (under m)
     };
 
     /** Per-worker wall-clock accounting (observability only). */
@@ -286,8 +398,41 @@ class ShardedKernel
     /** One worker's participation in the current round. */
     void workerRound(unsigned worker);
 
+    /** The round-two scan loop (Static, jobs = 1, and ScanLegacy). */
+    void workerRoundScan(unsigned worker);
+
+    /** The ready-queue loop (Stealing + ReadyQueue, jobs > 1). */
+    void workerRoundReady(unsigned worker);
+
     /** Advance island @p i as far as the channel clocks allow. */
     Step stepIsland(unsigned worker, std::size_t i, Time round_limit);
+
+    /** Fold island @p i's trigger counters into trigSum_ (its executor). */
+    void noteTriggers(Island& is);
+
+    /** Enqueue a now-runnable island on @p worker's ready shard. */
+    void pushReady(unsigned worker, std::uint32_t island);
+
+    /** Pop from own shard (LIFO) or steal (FIFO). False when empty. */
+    bool popReady(unsigned worker, std::uint32_t& island);
+
+    /** After a clock publish at @p clock_ns: enqueue out-neighbors whose
+     * wake threshold the new clock satisfies (ready-queue mode). */
+    void wakeOutNeighbors(unsigned worker, std::size_t i,
+                          std::int64_t clock_ns);
+
+    /** Raw min in-neighbor clock in ns (wake re-check; max when none). */
+    std::int64_t minInNeighborClockNs(const Island& is) const;
+
+    /** Park a blocked island and close the block-vs-wake race. */
+    void blockIsland(unsigned worker, std::uint32_t island);
+
+    /** Advance the drain token a bounded number of visits; true when it
+     * proved the round tail empty and set roundAbort_. */
+    bool tryTokenPass();
+
+    /** Sequential (jobs = 1) drain probe: nothing pending <= @p t. */
+    bool allQuietBelow(Time t) const;
 
     /** Safe horizon of island @p i: min in-neighbor clock + lookahead. */
     Time safeHorizon(const Island& is) const;
@@ -324,11 +469,15 @@ class ShardedKernel
     Time lookahead_;
     unsigned jobs_;
     ScheduleMode mode_;
+    StealPolicy stealPolicy_ = StealPolicy::ReadyQueue;
     unsigned windowsPerRound_ = 16;
+    bool windowsPinned_ = false;  ///< setWindowsPerRound disables adaptation
     std::deque<Island> islands_;
     std::vector<BarrierAgent*> agents_;
     Time now_;
     bool started_ = false;
+    bool useReady_ = false;   ///< this run schedules via the ready queue
+    bool useToken_ = false;   ///< this run may abort tails via the token
 
     /** @{ Edge graph. Dense until the first declareEdge()/declareDense(). */
     std::vector<std::vector<std::uint8_t>> edges_;  ///< [src][dst]
@@ -341,7 +490,31 @@ class ShardedKernel
     /** @{ Stats (coordinator-written or per-island under claim). */
     std::uint64_t rounds_ = 0;
     std::atomic<std::uint64_t> steals_{0};
+    std::uint64_t triggerExits_ = 0;   ///< coordinator-written
+    std::uint64_t roundsSkipped_ = 0;  ///< coordinator-written
+    std::atomic<std::uint64_t> drainAborts_{0};
     /** @} */
+
+    /** @{ Trigger machinery. lastSeen lives in Trigger (per executor);
+     * the sum and fire flag are the only cross-worker state. */
+    std::vector<Trigger> triggers_;
+    std::atomic<std::uint64_t> trigSum_{0};
+    std::uint64_t trigTarget_ = 0;
+    std::atomic<bool> trigArmed_{false};
+    std::atomic<bool> trigFired_{false};
+    /** @} */
+
+    /** @{ Drain token (Stealing, jobs > 1). One holder at a time via
+     * tokenBusy_; pos/clean are handed between holders under it. */
+    std::atomic<bool> tokenBusy_{false};
+    std::uint32_t tokenPos_ = 0;
+    std::uint32_t tokenClean_ = 0;
+    std::atomic<bool> roundAbort_{false};
+    std::uint64_t seqWindowsRound_ = 0;  ///< jobs = 1 drain-probe gate
+    /** @} */
+
+    /** Ready-queue shards (one per worker; Stealing + ReadyQueue). */
+    std::deque<ReadyShard> ready_;
 
     /**
      * @{ Worker pool protocol. The coordinator resets the per-island

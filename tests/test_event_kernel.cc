@@ -599,6 +599,7 @@ struct FloodOutcome
     std::uint64_t dropped = 0;
     std::uint64_t completions = 0;
     std::uint64_t violations = 0;
+    std::int64_t stopNs = 0;
     bool completed = false;
 
     bool
@@ -607,14 +608,23 @@ struct FloodOutcome
         return traceHash == o.traceHash && sent == o.sent &&
                delivered == o.delivered && dropped == o.dropped &&
                completions == o.completions &&
-               violations == o.violations && completed == o.completed;
+               violations == o.violations && stopNs == o.stopNs &&
+               completed == o.completed;
     }
 };
 
-/** jobs == 0: single-queue kernel; jobs >= 1: island mode. */
+/**
+ * jobs == 0: single-queue kernel; jobs >= 1: island mode. With
+ * `trigger` the wave wait goes through runUntilCompletions (the
+ * per-island trigger path) instead of the polling runUntil — the two
+ * must be indistinguishable in every deterministic output, including
+ * the virtual stop time.
+ */
 FloodOutcome
 runMiniFlood(unsigned jobs, std::uint64_t seed,
-             ScheduleMode mode = ScheduleMode::Stealing)
+             ScheduleMode mode = ScheduleMode::Stealing,
+             bool trigger = false,
+             StealPolicy policy = StealPolicy::ReadyQueue)
 {
     constexpr std::size_t pairs = 4;
     constexpr std::size_t qpsPerPair = 16;
@@ -625,6 +635,7 @@ runMiniFlood(unsigned jobs, std::uint64_t seed,
     options.sharded = jobs > 0;
     options.jobs = jobs > 0 ? jobs : 1;
     options.scheduleMode = mode;
+    options.stealPolicy = policy;
     Cluster cluster(rnic::DeviceProfile::connectX4(), 2 * pairs, seed,
                     net::LinkConfig{}, options);
     chaos::InvariantMonitor monitor(cluster.fabric());
@@ -675,8 +686,15 @@ runMiniFlood(unsigned jobs, std::uint64_t seed,
     const std::uint64_t expected = flows.size() * opsPerQp;
 
     FloodOutcome out;
-    out.completed = cluster.runUntil(
-        [&] { return completions() >= expected; }, Time::sec(600));
+    // Only clients post, so server CQs stay at zero and the
+    // cluster-wide completion count equals the client-CQ sum — the
+    // trigger target and the polled predicate see the same value.
+    out.completed =
+        trigger ? cluster.runUntilCompletions(expected, Time::sec(600))
+                : cluster.runUntil(
+                      [&] { return completions() >= expected; },
+                      Time::sec(600));
+    out.stopNs = cluster.now().toNs();
     cluster.advance(Time::ms(1));
     monitor.finalCheck();
 
@@ -860,4 +878,269 @@ TEST(ShardedKernel, FloodAgreesWithSingleQueueKernelOnVerdicts)
     EXPECT_EQ(island.violations, 0u);
     EXPECT_EQ(single.dropped, 0u);
     EXPECT_EQ(island.dropped, 0u);
+}
+
+// =====================================================================
+// Round three: trigger-based waits must be indistinguishable from
+// polling (stop time, trace hash, oracle verdicts) at every jobs
+// count, schedule mode and steal policy; the drain paths must cut the
+// null-message leapfrog tail without touching any of that.
+// =====================================================================
+
+TEST(ShardedKernel, TriggerWaitMatchesPollingExactly)
+{
+    const FloodOutcome ref = runMiniFlood(1, 511);
+    EXPECT_TRUE(ref.completed);
+    EXPECT_EQ(ref.violations, 0u);
+
+    struct Combo
+    {
+        ScheduleMode mode;
+        StealPolicy policy;
+        const char* name;
+    };
+    const Combo combos[] = {
+        {ScheduleMode::Static, StealPolicy::ReadyQueue, "static"},
+        {ScheduleMode::Stealing, StealPolicy::ReadyQueue, "ready"},
+        {ScheduleMode::Stealing, StealPolicy::ScanLegacy, "scan"},
+    };
+    for (const Combo& c : combos) {
+        for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+            const FloodOutcome poll =
+                runMiniFlood(jobs, 511, c.mode, false, c.policy);
+            const FloodOutcome trig =
+                runMiniFlood(jobs, 511, c.mode, true, c.policy);
+            EXPECT_TRUE(poll == ref)
+                << "poll jobs=" << jobs << " sched=" << c.name;
+            EXPECT_TRUE(trig == ref)
+                << "trigger jobs=" << jobs << " sched=" << c.name
+                << ": hash " << std::hex << trig.traceHash << " vs "
+                << ref.traceHash << std::dec << ", stop " << trig.stopNs
+                << " vs " << ref.stopNs << ", completions "
+                << trig.completions << " vs " << ref.completions;
+        }
+    }
+}
+
+TEST(ShardedKernel, TriggerWaitFallbackMatchesSingleQueuePolling)
+{
+    // jobs == 0: runUntilCompletions degrades to the historical
+    // per-event polling loop — bit-identical, goldens untouched.
+    const FloodOutcome poll = runMiniFlood(0, 511);
+    const FloodOutcome trig =
+        runMiniFlood(0, 511, ScheduleMode::Stealing, true);
+    EXPECT_TRUE(trig.completed);
+    EXPECT_TRUE(trig == poll);
+}
+
+namespace {
+
+/**
+ * Raw-kernel trigger harness: `n` islands in a bidirectional ring,
+ * every island retiring one counter tick per window for `ticks`
+ * windows. Crossings can involve several islands' deltas inside one
+ * worker pass, and the last executed window sits mid-round — the two
+ * trigger edge cases the flood differential cannot isolate.
+ */
+struct CounterTriggerRun
+{
+    std::int64_t stopNs = 0;
+    bool hit = false;
+    std::uint64_t executed = 0;
+    std::uint64_t triggerExits = 0;
+    std::uint64_t drainAborts = 0;
+};
+
+CounterTriggerRun
+runCounterTrigger(unsigned jobs, ScheduleMode mode, StealPolicy policy,
+                  std::uint64_t target, bool poll)
+{
+    constexpr std::size_t n = 8;
+    constexpr std::uint64_t ticks = 40;
+
+    ShardedKernel kernel(Time::us(1), jobs, mode);
+    kernel.setStealPolicy(policy);
+    for (std::size_t i = 0; i < n; ++i)
+        kernel.addIsland();
+    for (std::size_t i = 0; i < n; ++i) {
+        kernel.declareEdge(i, (i + 1) % n);
+        kernel.declareEdge((i + 1) % n, i);
+    }
+    std::deque<std::atomic<std::uint64_t>> counts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto& count = counts[i];
+        count.store(0);
+        for (std::uint64_t w = 0; w < ticks; ++w) {
+            kernel.island(i).schedule(
+                Time::ns(static_cast<std::int64_t>(w) * 1000 + 500),
+                [&count] {
+                    count.fetch_add(1, std::memory_order_relaxed);
+                });
+        }
+        kernel.addTrigger(i, [&count] {
+            return count.load(std::memory_order_relaxed);
+        });
+    }
+
+    CounterTriggerRun out;
+    if (poll) {
+        out.hit = kernel.runUntil(
+            [&counts, target] {
+                std::uint64_t sum = 0;
+                for (const auto& c : counts)
+                    sum += c.load(std::memory_order_relaxed);
+                return sum >= target;
+            },
+            Time::ms(1));
+    } else {
+        out.hit = kernel.runUntilTriggered(target, Time::ms(1));
+    }
+    out.stopNs = kernel.now().toNs();
+    out.executed = kernel.executed();
+    const auto ks = kernel.kernelStats();
+    out.triggerExits = ks.triggerExits;
+    out.drainAborts = ks.drainAborts;
+    return out;
+}
+
+} // namespace
+
+TEST(ShardedKernel, TriggerCrossingsFromManyIslandsStopLikePolling)
+{
+    // All 8 islands tick in every window, so the crossing window's
+    // pass accumulates deltas from several islands at once. Targets
+    // probe a mid-round crossing, a round-boundary crossing and an
+    // unreachable target (limit exit).
+    for (const std::uint64_t target : {37ull, 8ull * 16ull, 8ull * 39ull}) {
+        const CounterTriggerRun ref = runCounterTrigger(
+            1, ScheduleMode::Stealing, StealPolicy::ReadyQueue, target,
+            true);
+        EXPECT_TRUE(ref.hit) << "target=" << target;
+        struct Combo
+        {
+            ScheduleMode mode;
+            StealPolicy policy;
+        };
+        const Combo combos[] = {
+            {ScheduleMode::Static, StealPolicy::ReadyQueue},
+            {ScheduleMode::Stealing, StealPolicy::ReadyQueue},
+            {ScheduleMode::Stealing, StealPolicy::ScanLegacy},
+        };
+        for (const Combo& c : combos) {
+            for (const unsigned jobs : {1u, 2u, 4u}) {
+                const CounterTriggerRun trig = runCounterTrigger(
+                    jobs, c.mode, c.policy, target, false);
+                EXPECT_EQ(trig.stopNs, ref.stopNs)
+                    << "jobs=" << jobs << " target=" << target;
+                EXPECT_EQ(trig.executed, ref.executed)
+                    << "jobs=" << jobs << " target=" << target;
+                EXPECT_TRUE(trig.hit);
+                EXPECT_EQ(trig.triggerExits, 1u);
+            }
+        }
+    }
+
+    // Unreachable target: both paths run to the limit and report
+    // false, with every event executed.
+    const CounterTriggerRun poll = runCounterTrigger(
+        1, ScheduleMode::Stealing, StealPolicy::ReadyQueue, 10000, true);
+    const CounterTriggerRun trig = runCounterTrigger(
+        2, ScheduleMode::Stealing, StealPolicy::ReadyQueue, 10000, false);
+    EXPECT_FALSE(poll.hit);
+    EXPECT_FALSE(trig.hit);
+    EXPECT_EQ(trig.executed, 8u * 40u);
+    EXPECT_EQ(trig.stopNs, poll.stopNs);
+    EXPECT_EQ(trig.triggerExits, 0u);
+}
+
+TEST(ShardedKernel, TriggerRegisteredAfterRunStartCountsPriorWork)
+{
+    // Work retired before the trigger is registered must count toward
+    // the target (the counters are absolute, not deltas): register
+    // after a partial run, ask for a target already met, and the call
+    // returns satisfied without advancing virtual time.
+    ShardedKernel kernel(Time::us(1), 2);
+    kernel.addIsland();
+    kernel.addIsland();
+    std::deque<std::atomic<std::uint64_t>> counts(2);
+    counts[0].store(0);
+    counts[1].store(0);
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (int w = 0; w < 8; ++w) {
+            auto& count = counts[i];
+            kernel.island(i).schedule(Time::us(w), [&count] {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+    }
+    EXPECT_FALSE(kernel.run(Time::us(3)));  // events remain past 3 us
+    const std::uint64_t before = counts[0].load() + counts[1].load();
+    EXPECT_GE(before, 2u);
+
+    kernel.addTrigger(0, [&counts] { return counts[0].load(); });
+    kernel.addTrigger(1, [&counts] { return counts[1].load(); });
+    const Time at = kernel.now();
+    EXPECT_TRUE(kernel.runUntilTriggered(before, Time::ms(1)));
+    EXPECT_EQ(kernel.now(), at);  // satisfied before any round ran
+
+    // And a later target drains the rest normally.
+    EXPECT_TRUE(kernel.runUntilTriggered(16, Time::ms(1)));
+    EXPECT_EQ(counts[0].load() + counts[1].load(), 16u);
+    EXPECT_GT(kernel.kernelStats().triggerExits, 0u);
+}
+
+TEST(ShardedKernel, SequentialDrainProbeAbortsLeapfrogTail)
+{
+    // 64-island bidirectional ring with all events in the round's
+    // first window: once they retire, the rest of the round is pure
+    // null-message leapfrogging — 64 islands x 15 windows of clock
+    // churn with nothing underneath. The jobs=1 drain probe must
+    // detect the quiet kernel and abort the round (deterministically),
+    // and the abort must not skip any event.
+    ShardedKernel kernel(Time::us(1), 1);
+    constexpr std::size_t n = 64;
+    for (std::size_t i = 0; i < n; ++i)
+        kernel.addIsland();
+    for (std::size_t i = 0; i < n; ++i) {
+        kernel.declareEdge(i, (i + 1) % n);
+        kernel.declareEdge((i + 1) % n, i);
+    }
+    std::uint64_t ran = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        kernel.island(i).schedule(
+            Time::ns(static_cast<std::int64_t>(i) * 10),
+            [&ran] { ++ran; });
+    EXPECT_TRUE(kernel.run());
+    EXPECT_EQ(ran, n);
+    EXPECT_EQ(kernel.executed(), n);
+    EXPECT_GT(kernel.kernelStats().drainAborts, 0u);
+}
+
+TEST(ShardedKernel, StealingDrainTokenKeepsResultsIntact)
+{
+    // The same quiet-tail shape under the multi-worker Safra-style
+    // token (Stealing, both steal policies): the abort is a wall-clock
+    // optimization, so drainAborts is not asserted — only that every
+    // event ran and nothing below the limit was skipped.
+    for (const StealPolicy policy :
+         {StealPolicy::ReadyQueue, StealPolicy::ScanLegacy}) {
+        ShardedKernel kernel(Time::us(1), 4, ScheduleMode::Stealing);
+        kernel.setStealPolicy(policy);
+        constexpr std::size_t n = 64;
+        for (std::size_t i = 0; i < n; ++i)
+            kernel.addIsland();
+        for (std::size_t i = 0; i < n; ++i) {
+            kernel.declareEdge(i, (i + 1) % n);
+            kernel.declareEdge((i + 1) % n, i);
+        }
+        std::atomic<std::uint64_t> ran{0};
+        for (std::size_t i = 0; i < n; ++i)
+            kernel.island(i).schedule(
+                Time::ns(static_cast<std::int64_t>(i) * 10),
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        EXPECT_TRUE(kernel.run());
+        EXPECT_EQ(ran.load(), n);
+        EXPECT_EQ(kernel.executed(), n);
+        EXPECT_EQ(kernel.pending(), 0u);
+    }
 }

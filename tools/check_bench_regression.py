@@ -21,6 +21,12 @@ WARN line and the check exits nonzero so CI surfaces them, without
 claiming a perf regression. Pass --allow-new when the new cells are
 intentional (they become baselines once the trend file is refreshed).
 
+Metrics whose BASELINE stddev/mean exceeds --noise-threshold (default
+0.35) are not gated at all: such a baseline cannot distinguish a real
+regression from its own scatter. Each skip is printed as a WARN line
+(but does not fail the check) — the fix is more trials in the bench and
+a refreshed baseline, not a bigger threshold.
+
 Rows swept over a `jobs` param additionally get a derived
 `speedup_vs_seq` report: each jobs != 1 cell's wall-clock mean compared
 against the jobs = 1 cell sharing the bench and every other param —
@@ -76,6 +82,14 @@ def wall_clock_means(row):
         if name in WALL_CLOCK_METRICS and "mean" in stats:
             out[name] = float(stats["mean"])
     return out
+
+
+def noise_ratio(row, metric):
+    """Baseline stddev/mean for one metric (0.0 when unavailable)."""
+    stats = row.get("metrics", {}).get(metric, {})
+    mean = float(stats.get("mean", 0) or 0)
+    stddev = float(stats.get("stddev", 0) or 0)
+    return stddev / mean if mean > 0 else 0.0
 
 
 def latest_by_key(rows):
@@ -145,6 +159,14 @@ def main():
                         help="derived speedup_vs_seq below 1.0 is "
                              "expected (e.g. single-core machines); "
                              "list such rows but do not fail")
+    parser.add_argument("--noise-threshold", type=float, default=0.35,
+                        help="skip gating a metric whose BASELINE "
+                             "stddev/mean exceeds this (default 0.35): "
+                             "a baseline that noisy cannot distinguish "
+                             "a regression from a reroll. Skipped "
+                             "metrics are listed as WARN lines — fix "
+                             "the bench (more trials) rather than "
+                             "raising this")
     args = parser.parse_args()
 
     baseline = latest_by_key(load_rows(args.baseline))
@@ -152,6 +174,7 @@ def main():
 
     compared = 0
     unmatched = []  # fresh cells with no baseline row
+    noisy = []  # (cell name, metric, stddev/mean) skipped as ungateable
     per_cell = []  # (bench, cell name, metric, base, fresh, ratio)
     for key, fresh_row in sorted(fresh.items()):
         base_row = baseline.get(key)
@@ -164,6 +187,14 @@ def main():
         for metric, fresh_mean in wall_clock_means(fresh_row).items():
             base_mean = base_means.get(metric)
             if base_mean is None or base_mean <= 0:
+                continue
+            noise = noise_ratio(base_row, metric)
+            if noise > args.noise_threshold:
+                # A baseline this noisy gates nothing: any fresh draw
+                # within its own scatter would trip (or mask) the
+                # threshold. Skip it, loudly — silence would read as
+                # "checked and fine".
+                noisy.append((format_key(key), metric, noise))
                 continue
             compared += 1
             per_cell.append((key[0], format_key(key), metric, base_mean,
@@ -216,6 +247,14 @@ def main():
         for name, metric, jobs, speedup in slowdowns:
             print(f"WARN: {name} jobs={jobs} is SLOWER than the jobs=1 "
                   f"reference ({metric} speedup {speedup:.2f}x)")
+
+    if noisy:
+        print()
+        for name, metric, noise in noisy:
+            print(f"WARN: baseline for {name} {metric} is too noisy to "
+                  f"gate (stddev/mean {noise:.2f} > "
+                  f"{args.noise_threshold:.2f}); raise the bench's "
+                  f"trial count and refresh the baseline")
 
     if unmatched:
         print()
