@@ -27,6 +27,7 @@ registerAllBenches(exp::Registry& registry)
     registerFloodCapacity(registry);
     registerAtomicReplayThrash(registry);
     registerScaleSmoke(registry);
+    registerFaultStorm(registry);
 }
 
 } // namespace bench

@@ -36,6 +36,7 @@ void registerChaosProbe(exp::Registry& registry);
 void registerFloodCapacity(exp::Registry& registry);
 void registerAtomicReplayThrash(exp::Registry& registry);
 void registerScaleSmoke(exp::Registry& registry);
+void registerFaultStorm(exp::Registry& registry);
 
 /** Register the full suite, in paper order. */
 void registerAllBenches(exp::Registry& registry);

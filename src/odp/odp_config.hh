@@ -11,6 +11,7 @@
 #define IBSIM_ODP_ODP_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "simcore/time.hh"
 
@@ -18,10 +19,61 @@ namespace ibsim {
 namespace odp {
 
 /**
+ * Driver-side speculative prefetch policy (DESIGN.md section 14): which
+ * pages the driver pre-resolves alongside a demand fault.
+ */
+enum class PrefetchPolicy : std::uint8_t
+{
+    /** Demand faulting only (every device the paper measured). */
+    None,
+    /** Every fault also pre-resolves the next prefetchWidth pages. */
+    FixedWidth,
+    /**
+     * Pre-resolve only when the fault stream looks sequential (two
+     * consecutive faulting pages), then fetch prefetchWidth ahead.
+     */
+    SequentialDetect,
+};
+
+/**
  * Driver / RNIC timing for page fault handling.
  */
 struct FaultTiming
 {
+    /**
+     * Per-page state machine + MMU-notifier two-phase invalidation
+     * (DESIGN.md section 14). On (the default), every ODP page moves
+     * through NotPresent/Faulting/Present/Invalidating/
+     * FaultingInvalidated under legal-edge enforcement:
+     * invalidate_start flushes the RNIC translation immediately and
+     * opens a quiesce window, invalidate_end releases the host frame,
+     * and faults/prefetches that collide with a window serialize behind
+     * it instead of racing. Off restores the pre-state-machine latency
+     * draw: invalidations blindly unmap after invalidateLatency and
+     * prefetch ignores in-flight faults — the historical race class,
+     * kept for golden-trace compatibility and flag-flip regression
+     * tests.
+     */
+    bool pageStateMachine = true;
+
+    /**
+     * Huge-page mapping: one fault installs the whole aligned
+     * hugePageSpan block (2 MiB at the default 512 x 4 KiB), skipping
+     * pages another fault or notifier window owns. Invalidation then
+     * splits the block: reclaiming any page unmaps every page of its
+     * aligned block (THP-style). Requires pageStateMachine.
+     */
+    bool hugePages = false;
+
+    /** Pages per huge mapping (512 x 4 KiB = 2 MiB). */
+    std::uint64_t hugePageSpan = 512;
+
+    /** Driver-side speculative prefetch (requires pageStateMachine). */
+    PrefetchPolicy prefetchPolicy = PrefetchPolicy::None;
+
+    /** Pages fetched ahead per policy trigger. */
+    std::uint64_t prefetchWidth = 8;
+
     /**
      * Fault resolution latency bounds; actual latency is drawn uniformly.
      * The paper reports 250-1000 us as the common-case band (Fig. 9a).
@@ -92,6 +144,32 @@ struct FloodQuirkConfig
 
     /** Upper bound on the load multiplier (bounds one refresh's cost). */
     double maxServiceFactor = 100.0;
+
+    /**
+     * Mechanistic update-failure trigger (DESIGN.md section 14): when
+     * true, a resolution's prompt updates fail for its stale waiters
+     * when the fault overlapped at least contentionThreshold
+     * MMU-notifier windows on the same region — the page-status queue
+     * loses the race against concurrent invalidation traffic — instead
+     * of the fanout/staleness conjecture above. Off by default so every
+     * existing golden stands; the fanout draw remains the documented
+     * paper-facing model.
+     */
+    bool notifierContention = false;
+
+    /** Overlapping windows needed to fail the prompt update. */
+    std::uint32_t contentionThreshold = 1;
+
+    /**
+     * Pre-fix slow-queue accounting: a waiter that went stale twice
+     * (page remapped after an invalidation mid-flood) was pushed into
+     * the slow queue again, unregisterWaiter() purged only the first
+     * copy, and serviceFired() burned rate-limited service slots
+     * refreshing keys whose waiters were already flushed or destroyed
+     * — staleCount() over-reported and the flood drain stretched.
+     * Kept as a flag-flip regression switch; off everywhere.
+     */
+    bool staleQueueDeadKeyBug = false;
 };
 
 } // namespace odp

@@ -7,9 +7,16 @@
  * latency (interrupt + kernel page allocation + table update, paper
  * Sec. III-A), populates the host page, installs the RNIC translation, and
  * fires the callbacks registered for that fault. Concurrent faults on the
- * same page coalesce into one resolution. Invalidation runs the reverse
- * flow, and prefetch (ibv_advise_mr-style) resolves pages without an
- * RNIC-side fault.
+ * same page coalesce into one resolution.
+ *
+ * Invalidation follows the kernel's MMU-notifier shape (DESIGN.md
+ * section 14): invalidate_start flushes the RNIC translation immediately
+ * and opens a quiesce window; invalidate_end (after invalidateLatency)
+ * releases the host frame. Faults and prefetches that collide with the
+ * window serialize behind it via the per-page state machine in
+ * page_table.hh instead of racing the unmap. Prefetch (ibv_advise_mr
+ * style) resolves pages without an RNIC-side fault, skipping pages a
+ * fault or a window already owns.
  */
 
 #ifndef IBSIM_ODP_ODP_DRIVER_HH
@@ -22,6 +29,7 @@
 
 #include "mem/address_space.hh"
 #include "odp/odp_config.hh"
+#include "odp/page_table.hh"
 #include "odp/translation_table.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
@@ -37,6 +45,23 @@ struct DriverStats
     std::uint64_t faultsResolved = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t prefetchedPages = 0;
+
+    /** Doomed faults (FaultingInvalidated) restarted at invalidate_end. */
+    std::uint64_t faultRetries = 0;
+    /** Faults that arrived inside a notifier window and queued behind it. */
+    std::uint64_t faultsQueuedBehindWindow = 0;
+    /** Invalidations that landed inside an already-open window. */
+    std::uint64_t invalidationsCoalesced = 0;
+    /** Notifier windows opened (invalidate_start events). */
+    std::uint64_t notifierWindows = 0;
+    /** Faults that installed a whole aligned huge-page block. */
+    std::uint64_t hugeMappings = 0;
+    /** Extra pages mapped by huge-page expansion (excludes the fault). */
+    std::uint64_t hugePagesMapped = 0;
+    /** Prefetches issued by the driver-side policy (not the verbs API). */
+    std::uint64_t autoPrefetches = 0;
+    /** Prefetch pages skipped because a fault/window owned the page. */
+    std::uint64_t prefetchSkippedBusy = 0;
 };
 
 /**
@@ -52,6 +77,16 @@ class OdpDriver
      */
     using ResolveCallback = EventQueue::Callback;
 
+    /**
+     * Observer of page resolutions (the status board). The third argument
+     * is the number of notifier windows that overlapped the fault's
+     * lifetime on the same table (0 for prefetch-resolved pages) — the
+     * contention signal behind FloodQuirkConfig::notifierContention.
+     */
+    using ResolutionObserver =
+        std::function<void(TranslationTable&, std::uint64_t page,
+                           std::uint32_t contention)>;
+
     OdpDriver(EventQueue& events, Rng& rng, mem::AddressSpace& memory,
               FaultTiming timing);
 
@@ -61,7 +96,8 @@ class OdpDriver
      * @param on_resolved invoked once the translation is installed; may be
      *        empty. Multiple faults on one in-flight page coalesce and all
      *        callbacks fire at the single resolution.
-     * @return the virtual time at which the fault will resolve.
+     * @return the virtual time at which the fault will resolve (an
+     *         estimate when the fault queued behind a notifier window).
      */
     Time raiseFault(TranslationTable& table, std::uint64_t vaddr,
                     ResolveCallback on_resolved = {});
@@ -71,8 +107,13 @@ class OdpDriver
                        std::uint64_t vaddr) const;
 
     /**
-     * Invalidate the page holding @p vaddr: the kernel reclaims the host
-     * page and the RNIC translation is flushed after invalidateLatency.
+     * Invalidate the page holding @p vaddr. With the state machine on,
+     * invalidate_start flushes the RNIC translation now and opens a
+     * quiesce window; invalidate_end releases the host frame after
+     * invalidateLatency and restarts any fault that collided with the
+     * window. With hugePages set the whole aligned block is invalidated
+     * (reclaim splits the huge mapping). Legacy mode (pageStateMachine
+     * off) blindly unmaps after invalidateLatency.
      */
     void invalidate(TranslationTable& table, std::uint64_t vaddr);
 
@@ -80,10 +121,25 @@ class OdpDriver
     void prefetch(TranslationTable& table, std::uint64_t vaddr,
                   std::uint64_t len);
 
+    /** State of the page holding @p vaddr (derives Present/NotPresent). */
+    PageState pageState(const TranslationTable& table,
+                        std::uint64_t vaddr) const;
+
+    /**
+     * Whether the page holding @p vaddr is in a transient state
+     * (Faulting / Invalidating / FaultingInvalidated) — i.e. the driver
+     * is actively working on it. Chaos storms use this to target pages
+     * mid-transition, not just mapped ones.
+     */
+    bool pageTransient(const TranslationTable& table,
+                       std::uint64_t vaddr) const;
+
+    /** The per-page state table (tests / observability). */
+    const OdpPageTable& pageTable() const { return pages_; }
+
     /** Register an observer of page resolutions (the status board). */
     void
-    setResolutionObserver(
-        std::function<void(TranslationTable&, std::uint64_t page)> obs)
+    setResolutionObserver(ResolutionObserver obs)
     {
         resolutionObserver_ = std::move(obs);
     }
@@ -116,23 +172,59 @@ class OdpDriver
     const FaultTiming& timing() const { return timing_; }
 
   private:
-    struct PendingFault
-    {
-        std::vector<ResolveCallback> callbacks;
-        Time resolveAt;
-    };
+    using Key = OdpPageTable::Key;
+    using Entry = OdpPageTable::Entry;
 
-    using FaultKey = std::pair<const TranslationTable*, std::uint64_t>;
+    /** Draw one fault-resolution latency (uniform x congestion x chaos). */
+    Time drawFaultLatency();
 
-    void resolve(TranslationTable& table, std::uint64_t page_idx);
+    /** Scheduled resolution of the fault on @p page_idx (epoch-guarded). */
+    void completeFault(TranslationTable& table, std::uint64_t page_idx,
+                       std::uint64_t epoch);
+
+    /** invalidate_start for one page (state-machine mode). */
+    void invalidateOne(TranslationTable& table, std::uint64_t page_idx);
+
+    /** invalidate_end for one page (epoch-guarded against extensions). */
+    void invalidateEnd(TranslationTable& table, std::uint64_t page_idx,
+                       std::uint64_t window_epoch);
+
+    /** Scheduled prefetch sweep over [first, last] (state-machine mode). */
+    void prefetchSweep(TranslationTable& table, std::uint64_t first,
+                       std::uint64_t last);
+
+    /** Apply the configured prefetch policy after a fresh fault. */
+    void maybeAutoPrefetch(TranslationTable& table, std::uint64_t page_idx);
+
+    /**
+     * Map the rest of the aligned huge block around a resolved fault.
+     * Returns the extra pages mapped (empty unless hugePages is on).
+     */
+    std::vector<std::uint64_t> expandHugeMapping(TranslationTable& table,
+                                                 std::uint64_t page_idx);
+
+    /** Open notifier windows on @p table right now. */
+    std::uint32_t openWindowsOn(const TranslationTable* table) const;
+
+    void openWindow(const TranslationTable* table);
+    void closeWindow(const TranslationTable* table);
 
     EventQueue& events_;
     Rng& rng_;
     mem::AddressSpace& memory_;
     FaultTiming timing_;
-    std::map<FaultKey, PendingFault> pending_;
-    std::function<void(TranslationTable&, std::uint64_t)>
-        resolutionObserver_;
+    OdpPageTable pages_;
+    /** Open notifier windows per table (contention accounting). */
+    std::map<const TranslationTable*, std::uint32_t> openWindows_;
+    /** Per-table sequential-fault detector (PrefetchPolicy). */
+    struct SeqState
+    {
+        std::uint64_t lastPage = 0;
+        std::uint32_t streak = 0;
+        bool valid = false;
+    };
+    std::map<const TranslationTable*, SeqState> seq_;
+    ResolutionObserver resolutionObserver_;
     std::function<double()> congestionProbe_;
     std::function<double()> latencyChaos_;
     DriverStats stats_;

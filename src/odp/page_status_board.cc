@@ -40,11 +40,24 @@ PageStatusBoard::unregisterWaiter(const TranslationTable* table,
     if (it == waiters_.end())
         return;
     if (it->second.stale) {
-        auto q = std::find(slowQueue_.begin(), slowQueue_.end(), key);
-        if (q != slowQueue_.end())
-            slowQueue_.erase(q);
+        if (config_.staleQueueDeadKeyBug) {
+            // Pre-fix purge: only the first queued copy goes, so a
+            // waiter that went stale twice leaves a dead key behind.
+            auto q = std::find(slowQueue_.begin(), slowQueue_.end(), key);
+            if (q != slowQueue_.end())
+                slowQueue_.erase(q);
+        } else {
+            purgeFromSlowQueue(key);
+        }
     }
     waiters_.erase(it);
+}
+
+void
+PageStatusBoard::purgeFromSlowQueue(const Key& key)
+{
+    slowQueue_.erase(std::remove(slowQueue_.begin(), slowQueue_.end(), key),
+                     slowQueue_.end());
 }
 
 bool
@@ -56,7 +69,8 @@ PageStatusBoard::fresh(const TranslationTable* table, std::uint64_t page_idx,
 
 void
 PageStatusBoard::onPageMapped(const TranslationTable& table,
-                              std::uint64_t page_idx)
+                              std::uint64_t page_idx,
+                              std::uint32_t contention)
 {
     // Collect the waiters of this page. Keys sort by (table, page, qpn) so
     // an equal_range-style scan over the map works.
@@ -71,22 +85,34 @@ PageStatusBoard::onPageMapped(const TranslationTable& table,
 
     const bool over_fanout =
         config_.enabled && page_waiters.size() > config_.updateFanout;
+    // Mechanistic trigger (notifierContention): the prompt update loses
+    // the race when the fault resolved under concurrent invalidation
+    // traffic on the region, regardless of fanout.
+    const bool fail_updates =
+        config_.notifierContention
+            ? (config_.enabled &&
+               contention >= config_.contentionThreshold)
+            : over_fanout;
     const Time stale_cutoff = events_.now() - config_.staleThreshold;
 
     for (const Key& key : page_waiters) {
         Waiter& w = waiters_.at(key);
-        if (over_fanout && w.since < stale_cutoff) {
+        if (fail_updates && w.since < stale_cutoff) {
             // Update failure: this QP was already mid-retransmission and
             // missed the broadcast; only the slow path refreshes it.
-            ++stats_.updateFailures;
-            w.stale = true;
-            slowQueue_.push_back(key);
+            if (config_.staleQueueDeadKeyBug || !w.stale) {
+                ++stats_.updateFailures;
+                w.stale = true;
+                slowQueue_.push_back(key);
+            }
             IBSIM_TRACE(traceFlood, events_.now(),
                         "update failure qpn=" +
                             std::to_string(std::get<2>(key)) +
                             " page=" + std::to_string(page_idx));
         } else {
             ++stats_.promptUpdates;
+            if (!config_.staleQueueDeadKeyBug && w.stale)
+                purgeFromSlowQueue(key);
             waiters_.erase(key);
         }
     }
@@ -115,13 +141,32 @@ PageStatusBoard::serviceFired()
     // LIFO service: the most recent failures refresh first, so the
     // earliest operations finish last (paper Fig. 11a: the *first* ~30
     // operations stayed unaware the longest).
-    const Key key = slowQueue_.back();
-    slowQueue_.pop_back();
-    waiters_.erase(key);
-    ++stats_.slowRefreshes;
-    IBSIM_TRACE(traceFlood, events_.now(),
-                "slow refresh landed qpn=" +
-                    std::to_string(std::get<2>(key)));
+    if (config_.staleQueueDeadKeyBug) {
+        // Pre-fix behavior: a dead key (waiter already flushed or
+        // destroyed) burns this rate-limited service slot anyway.
+        const Key key = slowQueue_.back();
+        slowQueue_.pop_back();
+        waiters_.erase(key);
+        ++stats_.slowRefreshes;
+        IBSIM_TRACE(traceFlood, events_.now(),
+                    "slow refresh landed qpn=" +
+                        std::to_string(std::get<2>(key)));
+    } else {
+        // Skip dead keys without burning a service slot on them.
+        while (!slowQueue_.empty()) {
+            const Key key = slowQueue_.back();
+            slowQueue_.pop_back();
+            auto it = waiters_.find(key);
+            if (it == waiters_.end() || !it->second.stale)
+                continue;
+            waiters_.erase(it);
+            ++stats_.slowRefreshes;
+            IBSIM_TRACE(traceFlood, events_.now(),
+                        "slow refresh landed qpn=" +
+                            std::to_string(std::get<2>(key)));
+            break;
+        }
+    }
 
     if (!slowQueue_.empty()) {
         // Service slows down quadratically with the whole active-waiter

@@ -1,0 +1,141 @@
+#include "odp/page_table.hh"
+
+#include <cassert>
+
+namespace ibsim {
+namespace odp {
+
+const char*
+pageStateName(PageState state)
+{
+    switch (state) {
+      case PageState::NotPresent:
+        return "NotPresent";
+      case PageState::Faulting:
+        return "Faulting";
+      case PageState::Present:
+        return "Present";
+      case PageState::Invalidating:
+        return "Invalidating";
+      case PageState::FaultingInvalidated:
+        return "FaultingInvalidated";
+    }
+    return "?";
+}
+
+bool
+pageTransitionLegal(PageState from, PageState to)
+{
+    switch (from) {
+      case PageState::NotPresent:
+        // A fault starts resolving, or the kernel reclaims a host frame
+        // that never had an RNIC translation (the window still opens so
+        // concurrent faults serialize behind it).
+        return to == PageState::Faulting || to == PageState::Invalidating;
+      case PageState::Faulting:
+        // Resolution installs the translation, or invalidate_start lands
+        // mid-fault and dooms this resolution attempt.
+        return to == PageState::Present ||
+               to == PageState::FaultingInvalidated;
+      case PageState::Present:
+        // Only the notifier path takes a page out of Present.
+        return to == PageState::Invalidating;
+      case PageState::Invalidating:
+        // invalidate_end: the page is gone, or a fault that queued
+        // behind the window starts resolving.
+        return to == PageState::NotPresent || to == PageState::Faulting;
+      case PageState::FaultingInvalidated:
+        // invalidate_end: the doomed fault retries.
+        return to == PageState::Faulting;
+    }
+    return false;
+}
+
+OdpPageTable::Entry*
+OdpPageTable::find(const Key& key)
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const OdpPageTable::Entry*
+OdpPageTable::find(const Key& key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+PageState
+OdpPageTable::state(const Key& key, bool mapped) const
+{
+    const Entry* entry = find(key);
+    if (entry)
+        return entry->state;
+    return mapped ? PageState::Present : PageState::NotPresent;
+}
+
+OdpPageTable::Entry&
+OdpPageTable::enter(const Key& key, PageState from, PageState to)
+{
+    assert((from == PageState::NotPresent || from == PageState::Present) &&
+           "transient states already have an entry");
+    assert(pageTransitionLegal(from, to) && "illegal page transition");
+    if (!pageTransitionLegal(from, to))
+        ++stats_.illegalTransitionsBlocked;
+    auto [it, inserted] = entries_.try_emplace(key);
+    assert(inserted && "page already transient");
+    (void)inserted;
+    it->second.state = to;
+    ++stats_.transitions;
+    return it->second;
+}
+
+void
+OdpPageTable::transition(Entry& entry, PageState to)
+{
+    assert(pageTransitionLegal(entry.state, to) &&
+           "illegal page transition");
+    if (!pageTransitionLegal(entry.state, to)) {
+        ++stats_.illegalTransitionsBlocked;
+        return;
+    }
+    entry.state = to;
+    ++stats_.transitions;
+}
+
+void
+OdpPageTable::leave(const Key& key, PageState to)
+{
+    auto it = entries_.find(key);
+    assert(it != entries_.end() && "leaving a page with no entry");
+    assert(pageTransitionLegal(it->second.state, to) &&
+           "illegal page transition");
+    assert((to == PageState::Present || to == PageState::NotPresent) &&
+           "leave() only retires entries");
+    ++stats_.transitions;
+    entries_.erase(it);
+}
+
+std::size_t
+OdpPageTable::transientPages(const TranslationTable* table) const
+{
+    std::size_t count = 0;
+    for (auto it = entries_.lower_bound({table, 0});
+         it != entries_.end() && it->first.first == table; ++it)
+        ++count;
+    return count;
+}
+
+void
+OdpPageTable::noteWindowOpened(const TranslationTable* table)
+{
+    for (auto it = entries_.lower_bound({table, 0});
+         it != entries_.end() && it->first.first == table; ++it) {
+        if (it->second.state == PageState::Faulting ||
+            it->second.state == PageState::FaultingInvalidated)
+            ++it->second.windowsOverlapped;
+    }
+}
+
+} // namespace odp
+} // namespace ibsim

@@ -135,38 +135,7 @@ RcRequester::post(SendWqe wqe)
         const std::uint64_t unmapped =
             mr->table().firstUnmapped(stored.laddr, stored.length);
         if (unmapped != 0) {
-            stored.blockedOnLocalFault = true;
-            const std::uint32_t psn = stored.psn;
-            const std::uint32_t counter = faultCounters_.acquire();
-            const std::uint64_t first = mem::pageOf(stored.laddr);
-            const std::uint64_t last =
-                mem::pageOf(stored.laddr + stored.length - 1);
-            for (std::uint64_t p = first; p <= last; ++p) {
-                const std::uint64_t va = p * mem::pageSize;
-                if (mr->table().mappedPage(va))
-                    continue;
-                ++faultCounters_.at(counter);
-                rnic_.driver().raiseFault(
-                    mr->table(), va, [this, psn, counter] {
-                        if (--faultCounters_.at(counter) > 0)
-                            return;
-                        faultCounters_.release(counter);
-                        // All source pages resolved: release the WQE and
-                        // send it unless the engine is paused (then the
-                        // next retransmission burst carries it).
-                        for (auto& w : qp_.outstanding) {
-                            if (w.psn == psn) {
-                                w.blockedOnLocalFault = false;
-                                if (qp_.state == QpState::Rts &&
-                                    !qp_.paused() &&
-                                    w.transmissions == 0) {
-                                    transmit(w);
-                                }
-                                break;
-                            }
-                        }
-                    });
-            }
+            raiseLocalFaults(stored);
             return;  // transmission deferred to fault resolution
         }
     }
@@ -174,6 +143,67 @@ RcRequester::post(SendWqe wqe)
     (void)stored;
     if (!qp_.paused())
         pump();
+}
+
+void
+RcRequester::raiseLocalFaults(SendWqe& wqe)
+{
+    verbs::MemoryRegion* mr = rnic_.findMr(wqe.lkey);
+    assert(mr && "blocked WQE references an unknown lkey");
+    wqe.blockedOnLocalFault = true;
+    const std::uint32_t psn = wqe.psn;
+    const std::uint32_t counter = faultCounters_.acquire();
+    const std::uint64_t first = mem::pageOf(wqe.laddr);
+    const std::uint64_t last = mem::pageOf(wqe.laddr + wqe.length - 1);
+    for (std::uint64_t p = first; p <= last; ++p) {
+        const std::uint64_t va = p * mem::pageSize;
+        if (mr->table().mappedPage(va))
+            continue;
+        ++faultCounters_.at(counter);
+        rnic_.driver().raiseFault(
+            mr->table(), va, [this, psn, counter] {
+                if (--faultCounters_.at(counter) > 0)
+                    return;
+                faultCounters_.release(counter);
+                onLocalFaultsResolved(psn);
+            });
+    }
+    if (faultCounters_.at(counter) == 0) {
+        // Every page mapped between the caller's check and the raise
+        // (a huge-page fault on the same table can do this): nothing to
+        // wait for.
+        faultCounters_.release(counter);
+        onLocalFaultsResolved(psn);
+    }
+}
+
+void
+RcRequester::onLocalFaultsResolved(std::uint32_t psn)
+{
+    // All source pages resolved: release the WQE and send it unless the
+    // engine is paused (then the next retransmission burst carries it).
+    for (auto& w : qp_.outstanding) {
+        if (w.psn != psn)
+            continue;
+        if (rnic_.profile().faultTiming.pageStateMachine) {
+            // Honor the notifier quiesce window: an invalidate_start
+            // that flushed source pages while the batch fanned in means
+            // the translations are gone — re-fault instead of reading
+            // through stale entries.
+            verbs::MemoryRegion* mr = rnic_.findMr(w.lkey);
+            if (mr &&
+                mr->table().firstUnmapped(w.laddr, w.length) != 0) {
+                raiseLocalFaults(w);
+                return;
+            }
+        }
+        w.blockedOnLocalFault = false;
+        if (qp_.state == QpState::Rts && !qp_.paused() &&
+            w.transmissions == 0) {
+            transmit(w);
+        }
+        break;
+    }
 }
 
 void

@@ -58,6 +58,21 @@ class RcRequester
     void transmit(SendWqe& wqe);
 
     /**
+     * Raise sender-side faults for every unmapped source page of
+     * @p wqe; the WQE stays blockedOnLocalFault until the batch fans in.
+     */
+    void raiseLocalFaults(SendWqe& wqe);
+
+    /**
+     * A sender-side fault batch fanned in for the WQE at @p psn. With
+     * the page state machine on, the source range is re-checked first:
+     * an invalidation that flushed pages while the batch resolved
+     * (the notifier quiesce window) re-raises faults instead of
+     * transmitting stale translations.
+     */
+    void onLocalFaultsResolved(std::uint32_t psn);
+
+    /**
      * Slide the pipelining window: put requests on the wire, in PSN
      * order, until maxInflight are outstanding past the head.
      */

@@ -25,8 +25,9 @@ Rnic::Rnic(EventQueue& events, Rng& rng, net::Fabric& fabric,
 {
     fabric_.attach(lid_, *this);
     driver_.setResolutionObserver(
-        [this](odp::TranslationTable& table, std::uint64_t page) {
-            board_.onPageMapped(table, page);
+        [this](odp::TranslationTable& table, std::uint64_t page,
+               std::uint32_t contention) {
+            board_.onPageMapped(table, page, contention);
         });
 }
 

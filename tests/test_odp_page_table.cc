@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Deterministic unit suite for the ODP per-page state machine
+ * (DESIGN.md section 14): every legal transition including
+ * FaultingInvalidated, the MMU-notifier two-phase invalidation windows,
+ * huge-page mapping, prefetch policies, the mechanistic flood-quirk
+ * trigger, and the flag-flip regressions for the three historical races
+ * (stale invalidate clobber, prefetch double-population, slow-queue
+ * dead keys).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "odp/odp_driver.hh"
+#include "odp/page_status_board.hh"
+#include "odp/page_table.hh"
+#include "odp/translation_table.hh"
+
+using namespace ibsim;
+using namespace ibsim::mem;
+using namespace ibsim::odp;
+
+TEST(OdpPageTable, LegalEdgeTable)
+{
+    using S = PageState;
+    EXPECT_TRUE(pageTransitionLegal(S::NotPresent, S::Faulting));
+    EXPECT_TRUE(pageTransitionLegal(S::NotPresent, S::Invalidating));
+    EXPECT_FALSE(pageTransitionLegal(S::NotPresent, S::Present));
+    EXPECT_FALSE(pageTransitionLegal(S::NotPresent,
+                                     S::FaultingInvalidated));
+
+    EXPECT_TRUE(pageTransitionLegal(S::Faulting, S::Present));
+    EXPECT_TRUE(pageTransitionLegal(S::Faulting, S::FaultingInvalidated));
+    EXPECT_FALSE(pageTransitionLegal(S::Faulting, S::Invalidating));
+    EXPECT_FALSE(pageTransitionLegal(S::Faulting, S::NotPresent));
+
+    EXPECT_TRUE(pageTransitionLegal(S::Present, S::Invalidating));
+    EXPECT_FALSE(pageTransitionLegal(S::Present, S::Faulting));
+    EXPECT_FALSE(pageTransitionLegal(S::Present, S::FaultingInvalidated));
+
+    EXPECT_TRUE(pageTransitionLegal(S::Invalidating, S::NotPresent));
+    EXPECT_TRUE(pageTransitionLegal(S::Invalidating, S::Faulting));
+    EXPECT_FALSE(pageTransitionLegal(S::Invalidating, S::Present));
+
+    EXPECT_TRUE(pageTransitionLegal(S::FaultingInvalidated, S::Faulting));
+    EXPECT_FALSE(pageTransitionLegal(S::FaultingInvalidated, S::Present));
+    EXPECT_FALSE(pageTransitionLegal(S::FaultingInvalidated,
+                                     S::NotPresent));
+
+    EXPECT_STREQ(pageStateName(S::FaultingInvalidated),
+                 "FaultingInvalidated");
+}
+
+namespace {
+
+/** Tight latency band so resolution times are predictable. */
+struct PageMachineFixture : public ::testing::Test
+{
+    EventQueue events;
+    Rng rng{1};
+    AddressSpace memory;
+    FaultTiming timing;
+    TranslationTable table{/*odp=*/true};
+
+    PageMachineFixture()
+    {
+        timing.faultLatencyMin = Time::us(500);
+        timing.faultLatencyMax = Time::us(501);
+    }
+};
+
+} // namespace
+
+TEST_F(PageMachineFixture, FaultWalksNotPresentFaultingPresent)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 7 * pageSize;
+    EXPECT_EQ(driver.pageState(table, va), PageState::NotPresent);
+
+    driver.raiseFault(table, va);
+    EXPECT_EQ(driver.pageState(table, va), PageState::Faulting);
+    EXPECT_TRUE(driver.pageTransient(table, va));
+
+    events.run();
+    EXPECT_EQ(driver.pageState(table, va), PageState::Present);
+    EXPECT_FALSE(driver.pageTransient(table, va));
+    EXPECT_TRUE(table.mappedPage(va));
+    EXPECT_GE(driver.pageTable().stats().transitions, 2u);
+    EXPECT_EQ(driver.pageTable().stats().illegalTransitionsBlocked, 0u);
+}
+
+TEST_F(PageMachineFixture, InvalidateStartFlushesTranslationImmediately)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 7 * pageSize;
+    driver.raiseFault(table, va);
+    events.run();
+    ASSERT_TRUE(table.mappedPage(va));
+    ASSERT_TRUE(memory.present(va));
+
+    // invalidate_start: the RNIC translation dies now; the host frame
+    // survives until invalidate_end closes the window.
+    driver.invalidate(table, va);
+    EXPECT_FALSE(table.mappedPage(va));
+    EXPECT_TRUE(memory.present(va));
+    EXPECT_EQ(driver.pageState(table, va), PageState::Invalidating);
+
+    events.run();
+    EXPECT_FALSE(memory.present(va));
+    EXPECT_EQ(driver.pageState(table, va), PageState::NotPresent);
+    EXPECT_EQ(driver.stats().notifierWindows, 1u);
+}
+
+TEST_F(PageMachineFixture, InvalidateOfUnmappedPageStillOpensWindow)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 3 * pageSize;
+    driver.invalidate(table, va);
+    // NotPresent -> Invalidating: concurrent faults must serialize
+    // behind the window even though there was nothing to unmap.
+    EXPECT_EQ(driver.pageState(table, va), PageState::Invalidating);
+    events.run();
+    EXPECT_EQ(driver.pageState(table, va), PageState::NotPresent);
+    EXPECT_EQ(driver.stats().notifierWindows, 1u);
+}
+
+TEST_F(PageMachineFixture, InvalidationMidFaultDoomsAndRetries)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 7 * pageSize;
+    int callbacks = 0;
+    driver.raiseFault(table, va, [&] { ++callbacks; });
+
+    // invalidate_start lands mid-fault at 100us: the in-flight
+    // resolution (due ~500us) is doomed and must not install a mapping.
+    events.schedule(Time::us(100), [&] {
+        driver.invalidate(table, va);
+        EXPECT_EQ(driver.pageState(table, va),
+                  PageState::FaultingInvalidated);
+    });
+    // At 510us — past the original resolveAt — the doomed resolution
+    // must have been discarded: still no mapping, callback unfired.
+    events.schedule(Time::us(510), [&] {
+        EXPECT_FALSE(table.mappedPage(va));
+        EXPECT_EQ(callbacks, 0);
+        EXPECT_EQ(driver.pageState(table, va), PageState::Faulting);
+    });
+
+    events.run();
+    // The retry (130us window end + ~500us draw) resolved for real.
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_TRUE(table.mappedPage(va));
+    EXPECT_EQ(driver.stats().faultRetries, 1u);
+    EXPECT_EQ(driver.stats().faultsResolved, 1u);
+    EXPECT_NEAR(events.now().toUs(), 630.0, 5.0);
+}
+
+TEST_F(PageMachineFixture, FaultDuringWindowQueuesBehindIt)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 7 * pageSize;
+    driver.raiseFault(table, va);
+    events.run();
+    ASSERT_TRUE(table.mappedPage(va));
+
+    int callbacks = 0;
+    const Time start = events.now();
+    driver.invalidate(table, va);
+    // A fault inside the notifier window queues behind invalidate_end
+    // (Invalidating -> Faulting at window close), like the kernel's
+    // mmu_interval_read_retry loop.
+    const Time eta = driver.raiseFault(table, va, [&] { ++callbacks; });
+    EXPECT_TRUE(driver.faultInFlight(table, va));
+    EXPECT_GE(eta - start, Time::us(30) + Time::us(500));
+
+    events.run();
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_TRUE(table.mappedPage(va));
+    EXPECT_EQ(driver.stats().faultsQueuedBehindWindow, 1u);
+    EXPECT_EQ(driver.stats().faultsResolved, 2u);
+    EXPECT_GE(events.now() - start, Time::us(530));
+}
+
+TEST_F(PageMachineFixture, SecondInvalidationExtendsOpenWindow)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 7 * pageSize;
+    driver.raiseFault(table, va);
+    events.run();
+
+    driver.invalidate(table, va);              // window: now .. +30us
+    events.schedule(events.now() + Time::us(10), [&] {
+        driver.invalidate(table, va);          // extends to +40us
+    });
+    // At +35us the original end has passed but the extension holds the
+    // host frame.
+    events.schedule(events.now() + Time::us(35), [&] {
+        EXPECT_TRUE(memory.present(va));
+        EXPECT_EQ(driver.pageState(table, va), PageState::Invalidating);
+    });
+    events.run();
+    EXPECT_FALSE(memory.present(va));
+    EXPECT_EQ(driver.stats().invalidationsCoalesced, 1u);
+    EXPECT_EQ(driver.stats().notifierWindows, 1u);
+}
+
+// Satellite regression: invalidate() used to schedule a blind unmap with
+// no knowledge of in-flight faults, so an invalidation scheduled before
+// a fault resolved fired after the resolution and silently clobbered the
+// freshly mapped page. Fixed-seed interleaving, flag-flip differential.
+TEST_F(PageMachineFixture, StaleInvalidateClobberFixedByStateMachine)
+{
+    for (const bool machine : {false, true}) {
+        EventQueue ev;
+        Rng r{42};
+        AddressSpace mem;
+        TranslationTable t{/*odp=*/true};
+        FaultTiming cfg = timing;
+        cfg.pageStateMachine = machine;
+        OdpDriver driver(ev, r, mem, cfg);
+
+        const std::uint64_t va = 7 * pageSize;
+        int callbacks = 0;
+        driver.raiseFault(t, va, [&] { ++callbacks; }); // resolves ~500us
+        ev.schedule(Time::us(490), [&] {
+            driver.invalidate(t, va); // lands at 520us (legacy unmap)
+        });
+        ev.run();
+
+        EXPECT_EQ(callbacks, 1) << "machine=" << machine;
+        if (!machine) {
+            // Legacy: the resolution at ~500us mapped the page, then the
+            // stale unmap at 520us clobbered it.
+            EXPECT_FALSE(t.mappedPage(va));
+            EXPECT_FALSE(mem.present(va));
+            EXPECT_EQ(driver.stats().faultRetries, 0u);
+        } else {
+            // State machine: invalidate_start dooms the fault, the retry
+            // resolves after the window, and the mapping survives.
+            EXPECT_TRUE(t.mappedPage(va));
+            EXPECT_TRUE(mem.present(va));
+            EXPECT_EQ(driver.stats().faultRetries, 1u);
+            EXPECT_EQ(driver.pageState(t, va), PageState::Present);
+        }
+    }
+}
+
+// Satellite regression: the prefetch sweep re-checked mappedPage but not
+// the fault table, so a prefetch firing before a concurrent fault's
+// resolution populated the page and then resolve() populated it again —
+// both counters claimed the page and the observer fired twice.
+TEST_F(PageMachineFixture, PrefetchFaultDoublePopulationFixed)
+{
+    for (const bool machine : {false, true}) {
+        EventQueue ev;
+        Rng r{42};
+        AddressSpace mem;
+        TranslationTable t{/*odp=*/true};
+        FaultTiming cfg = timing;
+        cfg.pageStateMachine = machine;
+        OdpDriver driver(ev, r, mem, cfg);
+
+        int observed = 0;
+        driver.setResolutionObserver(
+            [&](TranslationTable&, std::uint64_t, std::uint32_t) {
+                ++observed;
+            });
+
+        const std::uint64_t va = 7 * pageSize;
+        driver.raiseFault(t, va);       // resolves ~500us
+        driver.prefetch(t, va, 1);      // sweep fires at 15us, mid-fault
+        ev.run();
+
+        EXPECT_TRUE(t.mappedPage(va));
+        EXPECT_EQ(driver.stats().faultsResolved, 1u);
+        if (!machine) {
+            // One page, two claimed resolutions: the historical drift.
+            EXPECT_EQ(driver.stats().prefetchedPages, 1u);
+            EXPECT_EQ(observed, 2);
+        } else {
+            EXPECT_EQ(driver.stats().prefetchedPages, 0u);
+            EXPECT_EQ(driver.stats().prefetchSkippedBusy, 1u);
+            EXPECT_EQ(observed, 1);
+        }
+    }
+}
+
+TEST_F(PageMachineFixture, PrefetchSkipsOpenWindows)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    const std::uint64_t va = 7 * pageSize;
+    driver.raiseFault(table, va);
+    events.run();
+
+    driver.invalidate(table, va);
+    ASSERT_EQ(driver.pageState(table, va), PageState::Invalidating);
+    // An advise inside the window must not resurrect the mapping behind
+    // invalidate_start's back.
+    driver.prefetch(table, va, 1);
+    events.run();
+    EXPECT_FALSE(table.mappedPage(va));
+    EXPECT_EQ(driver.stats().prefetchedPages, 0u);
+    EXPECT_EQ(driver.stats().prefetchSkippedBusy, 1u);
+}
+
+TEST_F(PageMachineFixture, HugePageFaultMapsAlignedBlock)
+{
+    timing.hugePages = true;
+    timing.hugePageSpan = 4;
+    OdpDriver driver(events, rng, memory, timing);
+
+    driver.raiseFault(table, 5 * pageSize);
+    events.run();
+    // One fault installed the whole aligned block [4, 8).
+    for (std::uint64_t p = 4; p < 8; ++p) {
+        EXPECT_TRUE(table.mappedPage(p * pageSize)) << p;
+        EXPECT_TRUE(memory.present(p * pageSize)) << p;
+    }
+    EXPECT_FALSE(table.mappedPage(3 * pageSize));
+    EXPECT_FALSE(table.mappedPage(8 * pageSize));
+    EXPECT_EQ(driver.stats().hugeMappings, 1u);
+    EXPECT_EQ(driver.stats().hugePagesMapped, 3u);
+    EXPECT_EQ(driver.stats().faultsResolved, 1u);
+}
+
+TEST_F(PageMachineFixture, HugePageInvalidateSplitsBlock)
+{
+    timing.hugePages = true;
+    timing.hugePageSpan = 4;
+    OdpDriver driver(events, rng, memory, timing);
+
+    driver.raiseFault(table, 5 * pageSize);
+    events.run();
+    ASSERT_EQ(table.mappedPages(), 4u);
+
+    // Reclaiming any page of the block unmaps the whole aligned block.
+    driver.invalidate(table, 6 * pageSize);
+    for (std::uint64_t p = 4; p < 8; ++p)
+        EXPECT_FALSE(table.mappedPage(p * pageSize)) << p;
+    events.run();
+    for (std::uint64_t p = 4; p < 8; ++p)
+        EXPECT_FALSE(memory.present(p * pageSize)) << p;
+    EXPECT_EQ(driver.stats().notifierWindows, 4u);
+}
+
+TEST_F(PageMachineFixture, FixedWidthPolicyPrefetchesAhead)
+{
+    timing.prefetchPolicy = PrefetchPolicy::FixedWidth;
+    timing.prefetchWidth = 4;
+    OdpDriver driver(events, rng, memory, timing);
+
+    driver.raiseFault(table, 10 * pageSize);
+    events.run();
+    // The fault mapped page 10; the policy pre-resolved 11..14.
+    for (std::uint64_t p = 10; p <= 14; ++p)
+        EXPECT_TRUE(table.mappedPage(p * pageSize)) << p;
+    EXPECT_FALSE(table.mappedPage(15 * pageSize));
+    EXPECT_EQ(driver.stats().autoPrefetches, 1u);
+    EXPECT_EQ(driver.stats().prefetchedPages, 4u);
+    EXPECT_EQ(driver.stats().faultsResolved, 1u);
+}
+
+TEST_F(PageMachineFixture, SequentialDetectNeedsConsecutiveFaults)
+{
+    timing.prefetchPolicy = PrefetchPolicy::SequentialDetect;
+    timing.prefetchWidth = 4;
+    OdpDriver driver(events, rng, memory, timing);
+
+    driver.raiseFault(table, 10 * pageSize);
+    events.run();
+    // A single fault is not a stream: nothing prefetched.
+    EXPECT_EQ(driver.stats().autoPrefetches, 0u);
+    EXPECT_FALSE(table.mappedPage(11 * pageSize));
+
+    driver.raiseFault(table, 11 * pageSize);
+    events.run();
+    // Two consecutive faulting pages: the detector arms and fetches
+    // 12..15 ahead.
+    EXPECT_EQ(driver.stats().autoPrefetches, 1u);
+    for (std::uint64_t p = 12; p <= 15; ++p)
+        EXPECT_TRUE(table.mappedPage(p * pageSize)) << p;
+
+    driver.raiseFault(table, 40 * pageSize);
+    events.run();
+    // A non-consecutive fault resets the streak.
+    EXPECT_EQ(driver.stats().autoPrefetches, 1u);
+    EXPECT_FALSE(table.mappedPage(41 * pageSize));
+}
+
+TEST_F(PageMachineFixture, WindowContentionReachesObserver)
+{
+    OdpDriver driver(events, rng, memory, timing);
+    std::uint32_t contention = 99;
+    driver.setResolutionObserver(
+        [&](TranslationTable&, std::uint64_t page, std::uint32_t c) {
+            if (page == 5)
+                contention = c;
+        });
+
+    table.mapPage(9 * pageSize);
+    driver.raiseFault(table, 5 * pageSize);
+    // A notifier window opens elsewhere on the same table mid-fault: the
+    // resolution must report one overlapped window to the status board.
+    events.schedule(Time::us(100), [&] {
+        driver.invalidate(table, 9 * pageSize);
+    });
+    events.run();
+    EXPECT_EQ(contention, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Status board: mechanistic flood-quirk trigger + the slow-queue
+// dead-key satellite fix.
+// ---------------------------------------------------------------------
+
+TEST(OdpPageTable, NotifierContentionTriggersUpdateFailure)
+{
+    EventQueue events;
+    Rng rng{7};
+    FloodQuirkConfig cfg;
+    cfg.notifierContention = true;
+    cfg.contentionThreshold = 1;
+    cfg.staleThreshold = Time::us(10);
+    PageStatusBoard board(events, rng, cfg);
+    TranslationTable table{/*odp=*/true};
+
+    // One waiter per page: far below the fanout knee, so only the
+    // contention signal can fail the update.
+    board.registerWaiter(&table, 3, 11);
+    board.registerWaiter(&table, 4, 12);
+    events.schedule(Time::us(100), [&] {
+        board.onPageMapped(table, 3, /*contention=*/0);
+        board.onPageMapped(table, 4, /*contention=*/1);
+    });
+    events.schedule(Time::us(150), [&] {
+        EXPECT_EQ(board.stats().promptUpdates, 1u);
+        EXPECT_EQ(board.stats().updateFailures, 1u);
+        EXPECT_EQ(board.staleCount(), 1u);
+        EXPECT_FALSE(board.fresh(&table, 4, 12));
+        EXPECT_TRUE(board.fresh(&table, 3, 11));
+    });
+    events.run();
+}
+
+// Satellite regression: a waiter that went stale twice was queued twice,
+// unregisterWaiter() purged only the first copy, and serviceFired()
+// burned a rate-limited slot on the dead key — staleCount over-reported.
+TEST(OdpPageTable, SlowQueueDeadKeyAccountingFlagFlip)
+{
+    for (const bool bug : {true, false}) {
+        EventQueue events;
+        Rng rng{7};
+        FloodQuirkConfig cfg;
+        cfg.updateFanout = 0; // every resolution is over-fanout
+        cfg.staleThreshold = Time::us(10);
+        cfg.staleQueueDeadKeyBug = bug;
+        PageStatusBoard board(events, rng, cfg);
+        TranslationTable table{/*odp=*/true};
+
+        board.registerWaiter(&table, 3, 11);
+        // Two resolutions after the waiter went stale: the pre-fix board
+        // queues it twice.
+        events.schedule(Time::us(100),
+                        [&] { board.onPageMapped(table, 3); });
+        events.schedule(Time::us(200),
+                        [&] { board.onPageMapped(table, 3); });
+        // The QP is flushed before the slow service fires.
+        events.schedule(Time::us(300),
+                        [&] { board.unregisterWaiter(&table, 3, 11); });
+        events.schedule(Time::us(400), [&] {
+            if (bug) {
+                EXPECT_EQ(board.staleCount(), 1u); // dead key left behind
+            } else {
+                EXPECT_EQ(board.staleCount(), 0u);
+            }
+            EXPECT_EQ(board.waiterCount(), 0u);
+        });
+        events.run();
+
+        if (bug) {
+            EXPECT_EQ(board.stats().updateFailures, 2u);
+            // The dead key burned a service slot.
+            EXPECT_EQ(board.stats().slowRefreshes, 1u);
+        } else {
+            EXPECT_EQ(board.stats().updateFailures, 1u);
+            EXPECT_EQ(board.stats().slowRefreshes, 0u);
+        }
+        EXPECT_EQ(board.staleCount(), 0u);
+    }
+}
